@@ -1,0 +1,23 @@
+-- An alternating-bit-protocol sender as an enumerable abstract model.
+--
+--   dune exec bin/avp.exe -- enumerate examples/models/abp_sender.sml
+--   dune exec bin/avp.exe -- tour examples/models/abp_sender.sml
+
+model abp_sender
+
+state seq     : bool = false
+state waiting : bool = false
+
+choice send_req : bool
+choice ack      : { NONE, ACK0, ACK1 }
+
+update
+  if !waiting then
+    if send_req then waiting := true; end
+  else
+    if (seq == false & ack == ACK0) | (seq == true & ack == ACK1) then
+      waiting := false;
+      seq := !seq;
+    end
+  end
+end

@@ -1,0 +1,30 @@
+-- The MAGIC Outbox abstraction of the paper's Section 4: from here
+-- the entire Protocol Processor is a single wire (send_exec), and the
+-- network interface another.  Compare lib/pp/control_hdl.ml's Verilog
+-- Outbox in examples/magic_outbox.ml.
+--
+--   dune exec bin/avp.exe -- enumerate examples/models/outbox.sml
+
+model outbox_control
+
+state count : 0..3 = 0
+state drain : { IDLE, ARB, XFER } = IDLE
+
+choice send_exec : bool
+choice ni_ready  : bool
+
+update
+  if send_exec & count < 3 & !(drain == XFER & ni_ready) then
+    count := count + 1;
+  elsif !(send_exec & count < 3) & drain == XFER & ni_ready & count > 0 then
+    count := count - 1;
+  end
+
+  if drain == IDLE then
+    if count > 0 then drain := ARB; end
+  elsif drain == ARB then
+    drain := XFER;
+  elsif ni_ready then
+    drain := IDLE;
+  end
+end
