@@ -1,0 +1,281 @@
+(* avp: architecture validation for processors.
+
+   Command-line front end for the library: translate annotated Verilog
+   to an FSM model, enumerate its state graph, generate transition
+   tours and test vectors, and run the Protocol Processor validation
+   campaign. *)
+
+open Cmdliner
+open Avp_hdl
+open Avp_fsm
+open Avp_enum
+open Avp_tour
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---------------------------------------------------------------- *)
+(* Shared arguments                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"Annotated Verilog source file, a .sml model (for enumerate \
+              and tour), or 'pp' for the built-in Protocol Processor \
+              control module.")
+
+let top_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "top" ] ~docv:"MODULE" ~doc:"Top module (default: last in file).")
+
+let all_conditions_arg =
+  Arg.(
+    value & flag
+    & info [ "all-conditions" ]
+        ~doc:"Record every distinct condition per (src,dst) pair — the \
+              Section 4 fix for implementations with fewer behaviours.")
+
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit" ] ~docv:"N"
+        ~doc:"Per-trace instruction limit (the paper uses 10000).")
+
+(* ---------------------------------------------------------------- *)
+(* Model loading                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let load_translation file top =
+  let src =
+    if file = "pp" then Avp_pp.Control_hdl.source else read_file file
+  in
+  Translate.translate (Elab.elaborate ?top (Parser.parse src))
+
+(* Enumerate/tour also accept models in the Synchronous-Murphi-style
+   text language (.sml files). *)
+let load_model file top =
+  if Filename.check_suffix file ".sml" then Sml.parse (read_file file)
+  else (load_translation file top).Translate.model
+
+(* ---------------------------------------------------------------- *)
+(* Commands                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let translate_cmd =
+  let run file top murphi =
+    let tr = load_translation file top in
+    let m = tr.Translate.model in
+    Format.printf
+      "translated %s: %d state vars (%d bits), %d choice vars (%d \
+       combinations)@."
+      file
+      (Array.length m.Model.state_vars)
+      (Model.state_bits m)
+      (Array.length m.Model.choice_vars)
+      (Model.num_choices m);
+    List.iter
+      (fun l -> Format.printf "latch folded into state: %a@." Latch.pp_latch l)
+      tr.Translate.latches;
+    if murphi then print_string (Murphi.emit tr);
+    0
+  in
+  let murphi_arg =
+    Arg.(value & flag & info [ "murphi" ] ~doc:"Emit Synchronous Murphi text.")
+  in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Translate annotated Verilog to an FSM model.")
+    Term.(const run $ file_arg $ top_arg $ murphi_arg)
+
+let enumerate_cmd =
+  let run file top all_conditions dot =
+    let g = State_graph.enumerate ~all_conditions (load_model file top) in
+    Format.printf "%a@." State_graph.pp_stats g.State_graph.stats;
+    (match State_graph.absorbing_states g with
+     | [] -> ()
+     | dead ->
+       Format.printf
+         "WARNING: %d absorbing state(s) — the machine can deadlock; \
+          tours exercise their self-loops but cannot flag them@."
+         (List.length dead));
+    (match dot with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       let ppf = Format.formatter_of_out_channel oc in
+       Format.fprintf ppf "%a@." State_graph.pp_dot g;
+       close_out oc;
+       Format.printf "wrote %s@." path);
+    0
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"OUT" ~doc:"Write a Graphviz rendering.")
+  in
+  Cmd.v
+    (Cmd.info "enumerate" ~doc:"Fully enumerate the control state graph.")
+    Term.(const run $ file_arg $ top_arg $ all_conditions_arg $ dot_arg)
+
+let tour_cmd =
+  let run file top all_conditions limit =
+    let g = State_graph.enumerate ~all_conditions (load_model file top) in
+    let t = Tour_gen.generate ?instr_limit:limit g in
+    Format.printf "%a@." Tour_gen.pp_stats t.Tour_gen.stats;
+    Format.printf "covers all arcs: %b@." (Tour_gen.covers_all_edges g t);
+    0
+  in
+  Cmd.v
+    (Cmd.info "tour" ~doc:"Generate transition tours of the state graph.")
+    Term.(const run $ file_arg $ top_arg $ all_conditions_arg $ limit_arg)
+
+let vectors_cmd =
+  let run file top limit out =
+    let tr = load_translation file top in
+    let g = State_graph.enumerate tr.Translate.model in
+    let t = Tour_gen.generate ?instr_limit:limit g in
+    let map = Avp_vectors.Condition_map.of_translation tr in
+    Array.iteri
+      (fun i trace ->
+        let v =
+          Avp_vectors.Condition_map.vectors_of_trace map tr.Translate.model
+            trace
+        in
+        let path = Printf.sprintf "%s/trace%04d.vec" out i in
+        let oc = open_out path in
+        output_string oc (Avp_vectors.Vector.to_string v);
+        close_out oc)
+      t.Tour_gen.traces;
+    Format.printf "wrote %d vector files to %s@."
+      (Array.length t.Tour_gen.traces)
+      out;
+    0
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "vectors" ~doc:"Emit force/release test-vector files.")
+    Term.(const run $ file_arg $ top_arg $ limit_arg $ out_arg)
+
+let validate_cmd =
+  let run bug limit =
+    let cfg = Avp_pp.Control_model.default in
+    let model = Avp_pp.Control_model.model cfg in
+    let graph = State_graph.enumerate model in
+    let weigh ~src ~choice =
+      Avp_pp.Control_model.instructions_of_edge cfg
+        ~src:graph.State_graph.states.(src)
+        ~choice:(Model.choice_of_index model choice)
+    in
+    let tours =
+      Tour_gen.generate
+        ?instr_limit:(Some (Option.value ~default:500 limit))
+        ~instructions_of_edge:weigh graph
+    in
+    let rows =
+      Avp_harness.Campaign.table_2_1 ~cfg ~graph ~tours ()
+    in
+    let rows =
+      match bug with
+      | None -> rows
+      | Some n ->
+        List.filter
+          (fun (r : Avp_harness.Campaign.bug_row) ->
+            Avp_pp.Bugs.number r.Avp_harness.Campaign.bug = n)
+          rows
+    in
+    Format.printf "%a" Avp_harness.Campaign.pp_rows rows;
+    0
+  in
+  let bug_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bug" ] ~docv:"N" ~doc:"Restrict to one Table 2.1 bug (1-6).")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Run the Protocol Processor validation campaign (Table 2.1).")
+    Term.(const run $ bug_arg $ limit_arg)
+
+let lint_cmd =
+  let run file top =
+    let src =
+      if file = "pp" then Avp_pp.Control_hdl.source else read_file file
+    in
+    let elab = Elab.elaborate ?top (Parser.parse src) in
+    (match Avp_hdl.Lint.check elab with
+     | [] ->
+       Format.printf "clean@.";
+       0
+     | findings ->
+       List.iter
+         (fun f -> Format.printf "%a@." Avp_hdl.Lint.pp_finding f)
+         findings;
+       if
+         List.exists
+           (fun f -> f.Avp_hdl.Lint.severity = Avp_hdl.Lint.Error)
+           findings
+       then 1
+       else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Check a design against the stylized subset.")
+    Term.(const run $ file_arg $ top_arg)
+
+let replay_cmd =
+  let run file top limit =
+    let tr = load_translation file top in
+    let g = State_graph.enumerate tr.Translate.model in
+    let t = Tour_gen.generate ?instr_limit:limit g in
+    (match Avp_vectors.Replay.check tr g t with
+     | Ok stats ->
+       Format.printf
+         "replayed %d traces / %d cycles: every transition matched@."
+         stats.Avp_vectors.Replay.traces stats.Avp_vectors.Replay.cycles;
+       0
+     | Error m ->
+       Format.printf "MISMATCH: %a@." Avp_vectors.Replay.pp_mismatch m;
+       1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Generate tours and replay their vectors against the design,              checking every predicted transition.")
+    Term.(const run $ file_arg $ top_arg $ limit_arg)
+
+let errata_cmd =
+  let run () =
+    List.iter
+      (fun (r : Avp_errata.Errata.row) ->
+        Format.printf "%-34s %4d %6.1f%%@." r.Avp_errata.Errata.label
+          r.Avp_errata.Errata.bugs r.Avp_errata.Errata.percent)
+      (Avp_errata.Errata.table ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "errata" ~doc:"Print the MIPS R4000 errata classification.")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "architecture validation for processors (ISCA 1995)" in
+  Cmd.group
+    (Cmd.info "avp" ~version:"1.0.0" ~doc)
+    [
+      translate_cmd; enumerate_cmd; tour_cmd; vectors_cmd; replay_cmd;
+      lint_cmd; validate_cmd; errata_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

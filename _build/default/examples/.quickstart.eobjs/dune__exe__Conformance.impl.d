@@ -1,0 +1,1 @@
+examples/conformance.ml: Avp_enum Avp_fsm Avp_tour Checking Chinese_postman Digraph Format List Minimize Model State_graph Tour_gen

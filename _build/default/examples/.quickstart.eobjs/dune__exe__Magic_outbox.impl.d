@@ -1,0 +1,1 @@
+examples/magic_outbox.ml: Array Avp_enum Avp_fsm Avp_hdl Avp_logic Avp_tour Avp_vectors Condition_map Elab Format Lint List Option Parser Printf Sim State_graph String Tour_gen Translate Vcd

@@ -1,0 +1,1 @@
+examples/magic_outbox.mli:

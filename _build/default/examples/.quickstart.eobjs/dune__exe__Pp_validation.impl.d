@@ -1,0 +1,1 @@
+examples/pp_validation.ml: Array Avp_enum Avp_fsm Avp_harness Avp_pp Avp_tour Bugs Campaign Compare Control_model Drive Format List Model Rtl State_graph Tour_gen Wave

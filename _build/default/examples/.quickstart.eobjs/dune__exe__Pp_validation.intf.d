@@ -1,0 +1,1 @@
+examples/pp_validation.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Avp_enum Avp_fsm Avp_hdl Avp_tour Avp_vectors Condition_map Elab Format List Murphi Parser Replay State_graph String Tour_gen Translate Vector

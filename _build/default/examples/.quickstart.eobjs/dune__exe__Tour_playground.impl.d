@@ -1,0 +1,1 @@
+examples/tour_playground.ml: Array Avp_enum Avp_fsm Avp_tour Chinese_postman Digraph List Model Printf State_graph Tour_gen

@@ -1,0 +1,79 @@
+(* Tour algorithms on random graphs: how the greedy generator's
+   overhead (re-traversals, explore-phase paths) scales, against the
+   Chinese-Postman optimum and the trivial lower bound (edge count).
+
+   Run with: dune exec examples/tour_playground.exe *)
+
+open Avp_fsm
+open Avp_enum
+open Avp_tour
+
+(* A family of strongly-connected models: k states on a ring plus
+   chords selected by the choice variable.  Chords only exist from
+   even states (odd states collapse every choice onto the ring edge),
+   which unbalances in/out degrees so the postman must pay for
+   duplicated paths and the greedy generator for re-traversals. *)
+let ring_model k chords =
+  let b = Model.Builder.create "ring" in
+  let st = Model.Builder.state b "st" (Array.init k string_of_int) in
+  let c = Model.Builder.choice b "c" (Array.init chords string_of_int) in
+  Model.Builder.build b ~step:(fun ctx ->
+      let open Model.Builder in
+      let cur = get ctx st in
+      let ch = chosen ctx c in
+      let dst =
+        if ch = 0 || cur mod 2 = 1 then (cur + 1) mod k
+        else (cur + (ch * 3) + 1) mod k
+      in
+      set ctx st dst)
+
+let () =
+  Printf.printf "%6s %8s %8s %10s %10s %10s %9s\n" "states" "chords"
+    "edges" "greedy" "postman" "overhead" "traces";
+  List.iter
+    (fun (k, chords) ->
+      let model = ring_model k chords in
+      let graph = State_graph.enumerate model in
+      let tours = Tour_gen.generate graph in
+      assert (Tour_gen.covers_all_edges graph tours);
+      let adj = graph.State_graph.adj in
+      let postman =
+        if Digraph.is_strongly_connected adj then
+          Chinese_postman.tour_length (Chinese_postman.solve adj ~start:0)
+        else -1
+      in
+      let greedy = tours.Tour_gen.stats.Tour_gen.edge_traversals in
+      Printf.printf "%6d %8d %8d %10d %10d %9.1f%% %9d\n" k chords
+        (Digraph.num_edges adj) greedy postman
+        (if postman > 0 then
+           100. *. float_of_int (greedy - postman) /. float_of_int postman
+         else nan)
+        tours.Tour_gen.stats.Tour_gen.num_traces)
+    [
+      (5, 2); (10, 2); (10, 4); (25, 4); (50, 4); (100, 4); (100, 8);
+      (250, 8);
+    ];
+  print_newline ();
+  print_endline
+    "(negative overhead is real: greedy traces are open walks from\n\
+     reset, while the postman tour must close the loop)";
+  print_newline ();
+  (* The instruction limit's effect on the longest trace, as in
+     Table 3.3. *)
+  let model = ring_model 100 8 in
+  let graph = State_graph.enumerate model in
+  Printf.printf "%12s %10s %14s %10s\n" "instr-limit" "traces"
+    "traversals" "longest";
+  List.iter
+    (fun limit ->
+      let tours =
+        match limit with
+        | None -> Tour_gen.generate graph
+        | Some l -> Tour_gen.generate ~instr_limit:l graph
+      in
+      Printf.printf "%12s %10d %14d %10d\n"
+        (match limit with None -> "none" | Some l -> string_of_int l)
+        tours.Tour_gen.stats.Tour_gen.num_traces
+        tours.Tour_gen.stats.Tour_gen.edge_traversals
+        tours.Tour_gen.stats.Tour_gen.longest_trace_edges)
+    [ None; Some 400; Some 100; Some 25 ]

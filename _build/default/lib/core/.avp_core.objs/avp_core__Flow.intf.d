@@ -1,0 +1,1 @@
+lib/core/flow.mli: Avp_enum Avp_fsm Avp_hdl Avp_tour Avp_vectors Format

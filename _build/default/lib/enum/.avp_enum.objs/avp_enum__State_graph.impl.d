@@ -1,0 +1,1 @@
+lib/enum/state_graph.ml: Array Avp_fsm Bytes Char Format Gc Hashtbl List Model String Sys Unix

@@ -1,0 +1,1 @@
+lib/enum/state_graph.mli: Avp_fsm Format Model

@@ -1,0 +1,217 @@
+open Avp_fsm
+
+type stats = {
+  num_states : int;
+  num_edges : int;
+  state_bits : int;
+  elapsed_s : float;
+  heap_mb : float;
+}
+
+type t = {
+  model : Model.t;
+  states : int array array;
+  adj : (int * int) array array;
+  stats : stats;
+}
+
+exception Too_many_states of int
+
+(* Pack a valuation into a string key; one byte per variable when the
+   domain fits, two otherwise. *)
+let make_packer (model : Model.t) =
+  let wide =
+    Array.map (fun v -> Model.card v > 256) model.Model.state_vars
+  in
+  let size =
+    Array.fold_left (fun acc w -> acc + if w then 2 else 1) 0 wide
+  in
+  fun (valuation : int array) ->
+    let b = Bytes.create size in
+    let pos = ref 0 in
+    Array.iteri
+      (fun i v ->
+        if wide.(i) then begin
+          Bytes.unsafe_set b !pos (Char.unsafe_chr (v land 0xff));
+          Bytes.unsafe_set b (!pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+          pos := !pos + 2
+        end
+        else begin
+          Bytes.unsafe_set b !pos (Char.unsafe_chr (v land 0xff));
+          incr pos
+        end)
+      valuation;
+    Bytes.unsafe_to_string b
+
+(* Growable array of states. *)
+module Dyn = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 1024 dummy; len = 0; dummy }
+
+  let push t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) t.dummy in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i = t.data.(i)
+  let to_array t = Array.sub t.data 0 t.len
+end
+
+let enumerate ?(all_conditions = false) ?(max_states = 5_000_000)
+    (model : Model.t) =
+  let t0 = Unix.gettimeofday () in
+  let pack = make_packer model in
+  let index : (string, int) Hashtbl.t = Hashtbl.create 65536 in
+  let states = Dyn.create [||] in
+  let adj = Dyn.create [||] in
+  let intern valuation =
+    let key = pack valuation in
+    match Hashtbl.find_opt index key with
+    | Some id -> id
+    | None ->
+      let id = states.Dyn.len in
+      if id >= max_states then raise (Too_many_states max_states);
+      Hashtbl.add index key id;
+      Dyn.push states valuation;
+      id
+  in
+  let reset = Array.copy model.Model.reset in
+  ignore (intern reset);
+  let num_choices = Model.num_choices model in
+  let choices =
+    Array.init num_choices (fun i -> Model.choice_of_index model i)
+  in
+  let edge_count = ref 0 in
+  (* BFS: states are processed in id order, which is discovery
+     (breadth-first) order because successors append at the end. *)
+  let frontier = ref 0 in
+  let seen_dst : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  while !frontier < states.Dyn.len do
+    let src = !frontier in
+    incr frontier;
+    let valuation = Dyn.get states src in
+    Hashtbl.reset seen_dst;
+    let out = ref [] in
+    for ci = 0 to num_choices - 1 do
+      let dst_valuation = model.Model.next valuation choices.(ci) in
+      let dst = intern dst_valuation in
+      let record =
+        if all_conditions then true
+        else if Hashtbl.mem seen_dst dst then false
+        else begin
+          Hashtbl.add seen_dst dst ();
+          true
+        end
+      in
+      if record then begin
+        out := (dst, ci) :: !out;
+        incr edge_count
+      end
+    done;
+    Dyn.push adj (Array.of_list (List.rev !out))
+  done;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let heap_mb =
+    let st = Gc.quick_stat () in
+    float_of_int st.Gc.heap_words *. float_of_int (Sys.word_size / 8)
+    /. (1024. *. 1024.)
+  in
+  {
+    model;
+    states = Dyn.to_array states;
+    adj = Dyn.to_array adj;
+    stats =
+      {
+        num_states = states.Dyn.len;
+        num_edges = !edge_count;
+        state_bits = Model.state_bits model;
+        elapsed_s;
+        heap_mb;
+      };
+  }
+
+let reset_id _ = 0
+let num_states t = Array.length t.states
+let num_edges t = t.stats.num_edges
+
+let find_state t valuation =
+  (* Linear probe through the packed index would need the table; a
+     rebuild here keeps the type simple and is only used by tests and
+     small tools. *)
+  let pack = make_packer t.model in
+  let key = pack valuation in
+  let n = num_states t in
+  let rec loop i =
+    if i >= n then None
+    else if String.equal (pack t.states.(i)) key then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let make_index t =
+  let pack = make_packer t.model in
+  let table = Hashtbl.create (num_states t * 2) in
+  Array.iteri (fun id v -> Hashtbl.replace table (pack v) id) t.states;
+  fun valuation -> Hashtbl.find_opt table (pack valuation)
+
+let out_degree t s = Array.length t.adj.(s)
+
+let edge_offsets t =
+  let n = num_states t in
+  let offsets = Array.make (n + 1) 0 in
+  for s = 0 to n - 1 do
+    offsets.(s + 1) <- offsets.(s) + Array.length t.adj.(s)
+  done;
+  offsets
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "states=%d bits/state=%d edges=%d time=%.2fs heap=%.1fMB" s.num_states
+    s.state_bits s.num_edges s.elapsed_s s.heap_mb
+
+let pp_dot ppf t =
+  Format.fprintf ppf "@[<v 2>digraph %s {@," t.model.Model.model_name;
+  Array.iteri
+    (fun id valuation ->
+      Format.fprintf ppf "s%d [label=\"%a\"];@," id
+        (Model.pp_state t.model) valuation)
+    t.states;
+  Array.iteri
+    (fun src out ->
+      Array.iter
+        (fun (dst, ci) ->
+          Format.fprintf ppf "s%d -> s%d [label=\"%a\"];@," src dst
+            (Model.pp_choice t.model)
+            (Model.choice_of_index t.model ci))
+        out)
+    t.adj;
+  Format.fprintf ppf "@]}@,"
+
+let absorbing_states t =
+  let out = ref [] in
+  Array.iteri
+    (fun s edges ->
+      if Array.length edges > 0
+         && Array.for_all (fun (dst, _) -> dst = s) edges
+      then out := s :: !out)
+    t.adj;
+  List.rev !out
+
+let is_deterministic_image t =
+  Array.for_all
+    (fun out ->
+      let seen = Hashtbl.create 8 in
+      Array.for_all
+        (fun (_, ci) ->
+          if Hashtbl.mem seen ci then false
+          else begin
+            Hashtbl.add seen ci ();
+            true
+          end)
+        out)
+    t.adj

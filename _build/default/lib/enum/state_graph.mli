@@ -1,0 +1,71 @@
+(** Full state enumeration (step 2 of the paper's methodology).
+
+    Breadth-first search from the reset state; at every state all
+    combinations of choice-variable values are permuted, "resulting in
+    the discovery of all reachable states, no matter how improbable a
+    sequence of interactions is needed to reach it".
+
+    Each graph edge carries the choice combination (the {e condition})
+    that caused the transition.  By default, as in the paper, "only
+    one is recorded" per (src, dst) pair — the first condition tried.
+    [~all_conditions:true] applies the fix discussed in Section 4,
+    recording every distinct condition as a parallel edge (this is how
+    the Figure 4.2 class of bug becomes detectable). *)
+
+open Avp_fsm
+
+type stats = {
+  num_states : int;
+  num_edges : int;
+  state_bits : int;  (** the paper's "number of bits per state" *)
+  elapsed_s : float;
+  heap_mb : float;  (** major-heap size at completion, in MB *)
+}
+
+type t = {
+  model : Model.t;
+  states : int array array;  (** state id -> valuation; id 0 is reset *)
+  adj : (int * int) array array;
+      (** state id -> ordered (dst, choice index) pairs *)
+  stats : stats;
+}
+
+exception Too_many_states of int
+
+val enumerate :
+  ?all_conditions:bool -> ?max_states:int -> Model.t -> t
+(** @raise Too_many_states when the [max_states] bound (default
+    5_000_000) is exceeded. *)
+
+val reset_id : t -> int
+(** Always 0. *)
+
+val num_states : t -> int
+val num_edges : t -> int
+
+val find_state : t -> int array -> int option
+(** Look up a state id by valuation (linear scan; for tooling). *)
+
+val make_index : t -> int array -> int option
+(** Constant-time valuation lookup; builds a hash index once. *)
+
+val out_degree : t -> int -> int
+
+val edge_offsets : t -> int array
+(** Prefix sums assigning each edge a dense global index: edge [k] of
+    state [s] has index [offsets.(s) + k]. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_dot : Format.formatter -> t -> unit
+(** Graphviz rendering (small graphs only). *)
+
+val absorbing_states : t -> int list
+(** States every one of whose transitions self-loops: the machine can
+    never leave them.  Coverage-driven validation does not check
+    liveness, so deadlocks hide in plain sight unless surfaced —
+    report them alongside enumeration statistics. *)
+
+val is_deterministic_image : t -> bool
+(** True when no state has two outgoing edges with the same recorded
+    condition — a sanity check of the first-condition labelling. *)

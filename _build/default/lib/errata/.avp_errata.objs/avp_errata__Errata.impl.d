@@ -1,0 +1,1 @@
+lib/errata/errata.ml: List

@@ -1,0 +1,181 @@
+type bug_class = Pipeline_datapath | Single_control | Multiple_event
+
+type entry = {
+  id : int;
+  cls : bug_class;
+  units : string list;
+  description : string;
+}
+
+let class_name = function
+  | Pipeline_datapath -> "Pipeline/Datapath ONLY bugs"
+  | Single_control -> "Single Control Logic Bugs"
+  | Multiple_event -> "Multiple Event Bugs"
+
+(* Unit names used below: "pipeline", "datapath", plus control units
+   "tlb", "dcache", "icache", "scache", "writebuffer", "extif",
+   "interrupt", "fpu-control", "branch", "refill". *)
+
+let pd id description =
+  { id; cls = Pipeline_datapath; units = [ "pipeline"; "datapath" ];
+    description }
+
+let sc id unit description =
+  { id; cls = Single_control; units = [ unit ]; description }
+
+let me id units description =
+  { id; cls = Multiple_event; units; description }
+
+let all =
+  [
+    (* 3 pipeline/datapath-only errata *)
+    pd 1 "Integer multiply result register forwards a stale high word \
+          when read in the immediately following slot.";
+    pd 2 "Shift-by-register of a just-loaded value uses the pre-load \
+          operand in one pipeline alignment.";
+    pd 3 "Sign extension lost on a byte load feeding a trapping add in \
+          the same issue group.";
+    (* 17 single-control-logic errata *)
+    sc 4 "tlb" "TLB probe instruction leaves the probe register \
+                unmodified when the entry is in the wired region.";
+    sc 5 "dcache" "Cache-op index-invalidate ignores the way bit in \
+                   one decoding of the virtual address.";
+    sc 6 "writebuffer" "Write buffer fails to merge an uncached store \
+                        issued in the cycle a flush is requested.";
+    sc 7 "interrupt" "Deferred watch exception is lost when the watch \
+                      register is rewritten before the exception is \
+                      taken.";
+    sc 8 "icache" "Instruction streaming continues one fetch past an \
+                   invalidated line.";
+    sc 9 "branch" "Branch-likely annulment bit ignored for the \
+                   coprocessor condition branch in kernel mode.";
+    sc 10 "tlb" "TLB read of the PageMask register returns the \
+                 unshifted mask.";
+    sc 11 "extif" "External invalidate acknowledged before the \
+                   internal state machine retires the request.";
+    sc 12 "fpu-control" "FPU control register write does not serialize \
+                         against a pending unimplemented-op trap.";
+    sc 13 "dcache" "Dirty bit not set on a store hitting the line \
+                    brought in by a preceding cache-op load-tag.";
+    sc 14 "refill" "Refill state machine replays one beat when the \
+                    system interface retracts ValidIn for one cycle.";
+    sc 15 "interrupt" "Count/Compare interrupt re-arms one cycle late \
+                       after Compare is rewritten with the current \
+                       Count.";
+    sc 16 "scache" "Secondary-cache tag ECC single-bit error reported \
+                    as uncorrectable in one tag-read sequence.";
+    sc 17 "writebuffer" "Uncached accelerated store sequence drops the \
+                         address-error check on the last word.";
+    sc 18 "branch" "Return-address prediction stack not popped on a \
+                    jr through r31 in the branch delay slot of jal.";
+    sc 19 "tlb" "TLB write-random can select the wired entry in the \
+                 cycle Wired is being updated.";
+    sc 20 "extif" "System interface command FIFO accepts a new command \
+                   in the single cycle its full flag deasserts during \
+                   reset sequencing.";
+    (* 26 multiple-event errata *)
+    me 21 [ "dcache"; "extif" ]
+      "Load miss followed by an external snoop to the same line \
+       returns the snooped (stale) data to the register file.";
+    me 22 [ "dcache"; "tlb"; "branch" ]
+      "Load causing a data cache miss, followed by a jump whose delay \
+       slot is on an unmapped page: when the TLB miss exception is \
+       taken the jump address is used instead of the exception \
+       vector.";
+    me 23 [ "icache"; "dcache" ]
+      "Simultaneous primary I- and D-cache misses with a secondary \
+       hit deliver the I-fill beat to the D-cache fill buffer.";
+    me 24 [ "writebuffer"; "interrupt" ]
+      "Interrupt taken while the write buffer drains an uncached \
+       store pair replays one store after the handler returns.";
+    me 25 [ "tlb"; "interrupt" ]
+      "TLB refill exception in the same cycle as a timer interrupt \
+       vectors through the interrupt handler with the refill cause \
+       code.";
+    me 26 [ "dcache"; "writebuffer" ]
+      "Store conditional during a write-back of the same line loses \
+       the link bit but reports success.";
+    me 27 [ "icache"; "branch" ]
+      "Taken branch into the last word of a streaming I-cache line \
+       executes the stale word once.";
+    me 28 [ "scache"; "refill"; "extif" ]
+      "Secondary-cache refill interleaved with an external intervention \
+       marks the line exclusive instead of shared.";
+    me 29 [ "fpu-control"; "interrupt" ]
+      "FPU exception raised in the shadow of a masked interrupt sets \
+       the wrong cause field when both unmask in the same write.";
+    me 30 [ "dcache"; "refill" ]
+      "Critical-word-first restart followed by a store to the word \
+       still in flight merges the store into the wrong beat.";
+    me 31 [ "tlb"; "dcache" ]
+      "TLB modify exception on a store that also misses the data \
+       cache leaves the fill buffer marked valid.";
+    me 32 [ "interrupt"; "branch" ]
+      "Interrupt recognized between a branch-likely and its annulled \
+       delay slot restarts execution at the delay slot.";
+    me 33 [ "writebuffer"; "extif" ]
+      "External read response arriving as the write buffer issues its \
+       last word causes a one-word overlap on the system bus.";
+    me 34 [ "icache"; "refill"; "extif" ]
+      "Instruction fetch stall during an external invalidate of the \
+       line being refilled yields one fetch of the invalidated data.";
+    me 35 [ "dcache"; "interrupt" ]
+      "Cache error exception during the second half of a misaligned \
+       load-left/load-right pair reports the wrong address.";
+    me 36 [ "scache"; "writebuffer" ]
+      "Secondary write-back queued behind an uncached store to the \
+       same bank is reordered ahead of it.";
+    me 37 [ "tlb"; "branch" ]
+      "Jump register through a mapped page whose translation is \
+       replaced in the same cycle uses the old physical address for \
+       one fetch.";
+    me 38 [ "refill"; "interrupt" ]
+      "Interrupt during the fixup cycle after an I-fetch stall loses \
+       the fixup and re-executes one instruction.";
+    me 39 [ "dcache"; "scache" ]
+      "Primary miss hitting a secondary line being victimized returns \
+       the victim's old tag parity.";
+    me 40 [ "extif"; "interrupt" ]
+      "External NMI sampled in the cycle a soft reset deasserts takes \
+       both vectors in sequence.";
+    me 41 [ "icache"; "tlb" ]
+      "Instruction TLB miss on the sequential fetch after a cache-op \
+       leaves the cache-op only partially retired.";
+    me 42 [ "dcache"; "writebuffer"; "refill" ]
+      "Fill-before-spill ordering violated when the spill buffer and \
+       an uncached store contend for the system port.";
+    me 43 [ "branch"; "fpu-control" ]
+      "Branch on FPU condition evaluated one cycle early when the \
+       compare writing it stalls on a structural hazard.";
+    me 44 [ "scache"; "extif" ]
+      "Intervention during the dead cycle between secondary tag read \
+       and data read observes mismatched tag and data.";
+    me 45 [ "writebuffer"; "branch" ]
+      "Taken branch flushing the pipe while the write buffer signals \
+       full replays the store in the branch shadow.";
+    me 46 [ "interrupt"; "dcache"; "extif" ]
+      "Interrupt, data cache miss and external stall arriving in the \
+       same cycle corrupt the restart PC by one instruction.";
+  ]
+
+let classify e =
+  match e.units with
+  | [ "pipeline"; "datapath" ] | [ "datapath" ] | [ "pipeline" ] ->
+    Pipeline_datapath
+  | [ _ ] -> Single_control
+  | _ -> Multiple_event
+
+let count cls = List.length (List.filter (fun e -> e.cls = cls) all)
+let total () = List.length all
+
+let percentage cls =
+  100.0 *. float_of_int (count cls) /. float_of_int (total ())
+
+type row = { label : string; bugs : int; percent : float }
+
+let table () =
+  List.map
+    (fun cls ->
+      { label = class_name cls; bugs = count cls; percent = percentage cls })
+    [ Pipeline_datapath; Single_control; Multiple_event ]
+  @ [ { label = "Total Reported Errata"; bugs = total (); percent = 100.0 } ]

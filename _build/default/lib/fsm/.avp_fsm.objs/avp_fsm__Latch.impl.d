@@ -1,0 +1,1 @@
+lib/fsm/latch.ml: Array Avp_hdl Elab Format Int List Set

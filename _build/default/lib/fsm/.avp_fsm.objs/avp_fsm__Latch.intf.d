@@ -1,0 +1,1 @@
+lib/fsm/latch.mli: Avp_hdl Format

@@ -1,0 +1,1 @@
+lib/fsm/model.ml: Array Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/fsm/model.mli: Format

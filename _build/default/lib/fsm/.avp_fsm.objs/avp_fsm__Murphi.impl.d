@@ -1,0 +1,1 @@
+lib/fsm/murphi.ml: Array Ast Avp_hdl Avp_logic Buffer Elab Format List Model String Translate

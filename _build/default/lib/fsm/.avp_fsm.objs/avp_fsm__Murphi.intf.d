@@ -1,0 +1,1 @@
+lib/fsm/murphi.mli: Avp_hdl Format Translate

@@ -1,0 +1,1 @@
+lib/fsm/product.ml: Array Hashtbl List Model Printf Queue String

@@ -1,0 +1,1 @@
+lib/fsm/product.mli: Model

@@ -1,0 +1,1 @@
+lib/fsm/sml.ml: Array Format Hashtbl List Model Option String

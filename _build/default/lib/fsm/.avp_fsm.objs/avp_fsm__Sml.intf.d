@@ -1,0 +1,1 @@
+lib/fsm/sml.mli: Model

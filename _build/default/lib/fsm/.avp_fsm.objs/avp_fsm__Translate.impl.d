@@ -1,0 +1,1 @@
+lib/fsm/translate.ml: Array Avp_hdl Avp_logic Bv Elab Format Hashtbl Int Latch List Model Printf Queue Sim String

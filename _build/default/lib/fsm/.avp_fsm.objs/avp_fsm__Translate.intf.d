@@ -1,0 +1,1 @@
+lib/fsm/translate.mli: Avp_hdl Avp_logic Latch Model

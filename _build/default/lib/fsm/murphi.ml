@@ -1,0 +1,158 @@
+open Avp_hdl
+
+let net_name (d : Elab.t) id =
+  (* Murphi identifiers cannot contain dots. *)
+  String.map
+    (fun c -> if c = '.' then '_' else c)
+    d.Elab.nets.(id).Elab.name
+
+let unop_str = function
+  | Ast.Not -> "!"
+  | Ast.Bnot -> "~"
+  | Ast.Uand -> "&"
+  | Ast.Uor -> "|"
+  | Ast.Uxor -> "^"
+  | Ast.Neg -> "-"
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Band -> "&"
+  | Ast.Bor -> "|"
+  | Ast.Bxor -> "^"
+  | Ast.Land -> "&"
+  | Ast.Lor -> "|"
+  | Ast.Eq -> "="
+  | Ast.Neq -> "!="
+  | Ast.Ceq -> "="
+  | Ast.Cneq -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+
+let rec pp_expr d ppf (e : Elab.eexpr) =
+  match e with
+  | Elab.Const v ->
+    (match Avp_logic.Bv.to_int v with
+     | Some n -> Format.pp_print_int ppf n
+     | None -> Format.fprintf ppf "'%s'" (Avp_logic.Bv.to_string v))
+  | Elab.Net id -> Format.pp_print_string ppf (net_name d id)
+  | Elab.Index (id, idx) ->
+    Format.fprintf ppf "%s[%a]" (net_name d id) (pp_expr d) idx
+  | Elab.Range (id, hi, lo) ->
+    Format.fprintf ppf "%s[%d:%d]" (net_name d id) hi lo
+  | Elab.Unop (op, e) ->
+    Format.fprintf ppf "%s(%a)" (unop_str op) (pp_expr d) e
+  | Elab.Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" (pp_expr d) a (binop_str op) (pp_expr d) b
+  | Elab.Ternary (c, a, b) ->
+    Format.fprintf ppf "(cond %a then %a else %a)" (pp_expr d) c (pp_expr d) a
+      (pp_expr d) b
+  | Elab.Concat es ->
+    Format.fprintf ppf "cat(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (pp_expr d))
+      es
+  | Elab.Repeat (n, e) -> Format.fprintf ppf "rep(%d, %a)" n (pp_expr d) e
+
+let rec pp_lv d ppf (lv : Elab.elv) =
+  match lv with
+  | Elab.Lnet id -> Format.pp_print_string ppf (net_name d id)
+  | Elab.Lindex (id, idx) ->
+    Format.fprintf ppf "%s[%a]" (net_name d id) (pp_expr d) idx
+  | Elab.Lrange (id, hi, lo) ->
+    Format.fprintf ppf "%s[%d:%d]" (net_name d id) hi lo
+  | Elab.Lconcat ls ->
+    Format.fprintf ppf "cat(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (pp_lv d))
+      ls
+
+let rec pp_stmt d ppf (s : Elab.estmt) =
+  match s with
+  | Elab.Block ss ->
+    Format.pp_print_list (pp_stmt d) ppf ss
+  | Elab.Blocking (lv, e) | Elab.Nonblocking (lv, e) ->
+    Format.fprintf ppf "%a := %a;" (pp_lv d) lv (pp_expr d) e
+  | Elab.If (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if %a then@,%a@]" (pp_expr d) c (pp_stmt d) t;
+    (match e with
+     | None -> Format.fprintf ppf "@,endif;"
+     | Some s ->
+       Format.fprintf ppf "@,@[<v 2>else@,%a@]@,endif;" (pp_stmt d) s)
+  | Elab.Case (sel, items, dflt) ->
+    Format.fprintf ppf "@[<v 2>switch %a@," (pp_expr d) sel;
+    List.iter
+      (fun (labels, body) ->
+        Format.fprintf ppf "@[<v 2>case %a:@,%a@]@,"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+             (pp_expr d))
+          labels (pp_stmt d) body)
+      items;
+    (match dflt with
+     | None -> ()
+     | Some s -> Format.fprintf ppf "@[<v 2>else@,%a@]@," (pp_stmt d) s);
+    Format.fprintf ppf "@]endswitch;"
+  | Elab.Nop -> Format.pp_print_string ppf "-- skip"
+
+let emit (r : Translate.result) =
+  let d = r.Translate.elab in
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf
+    "-- Synchronous Murphi model generated from Verilog design '%s'@."
+    d.Elab.top;
+  Format.fprintf ppf "-- clock: %s   reset: %s@.@." r.Translate.clock
+    r.Translate.reset;
+  Format.fprintf ppf "var  -- state variables (updated by the implicit clock)@.";
+  Array.iter
+    (fun (b : Translate.binding) ->
+      Format.fprintf ppf "  %s : 0..%d;  -- %d bits@."
+        (String.map (fun c -> if c = '.' then '_' else c)
+           b.Translate.net.Elab.name)
+        (Model.card b.Translate.var - 1)
+        b.Translate.net.Elab.width)
+    r.Translate.state_bindings;
+  Format.fprintf ppf "@.choose  -- abstract blocks (free inputs)@.";
+  Array.iter
+    (fun (b : Translate.binding) ->
+      Format.fprintf ppf "  %s : 0..%d;@."
+        (String.map (fun c -> if c = '.' then '_' else c)
+           b.Translate.net.Elab.name)
+        (Model.card b.Translate.var - 1))
+    r.Translate.choice_bindings;
+  Format.fprintf ppf "@.startstate@.";
+  Array.iteri
+    (fun i (b : Translate.binding) ->
+      Format.fprintf ppf "  %s := %d;@."
+        (String.map (fun c -> if c = '.' then '_' else c)
+           b.Translate.net.Elab.name)
+        r.Translate.model.Model.reset.(i))
+    r.Translate.state_bindings;
+  Format.fprintf ppf "endstartstate;@.@.";
+  Format.fprintf ppf "rule \"clocked update\"@.";
+  Array.iteri
+    (fun i p ->
+      let control = d.Elab.control.(i) in
+      match p with
+      | Elab.Seq (_, body) ->
+        Format.fprintf ppf "  -- %ssequential process %d@."
+          (if control then "control " else "")
+          i;
+        Format.fprintf ppf "  @[<v>%a@]@." (pp_stmt d) body
+      | Elab.Comb body ->
+        Format.fprintf ppf "  -- combinational process %d@." i;
+        Format.fprintf ppf "  @[<v>%a@]@." (pp_stmt d) body
+      | Elab.Assign (lv, e) ->
+        Format.fprintf ppf "  %a := %a;@." (pp_lv d) lv (pp_expr d) e)
+    d.Elab.processes;
+  Format.fprintf ppf "endrule;@.";
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

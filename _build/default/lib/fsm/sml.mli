@@ -1,0 +1,48 @@
+(** A small Synchronous-Murphi-style modeling language.
+
+    The paper's enumerator consumes Synchronous Murphi: explicit state
+    variables updated by an implicit clock, and nondeterministic
+    choice blocks whose every value combination is permuted during
+    enumeration.  This module gives that surface a concrete,
+    hand-writable syntax, so abstract models (the specification FSMs
+    of Section 4, interface abstractions of other MAGIC units, ...)
+    can be written as text and enumerated directly:
+
+    {v
+    -- an alternating-bit sender
+    model abp_sender
+
+    state seq     : bool = false
+    state waiting : bool = false
+
+    choice send_req : bool
+    choice ack      : { NONE, ACK0, ACK1 }
+
+    update
+      if !waiting then
+        if send_req then waiting := true; end
+      else
+        if (seq == false & ack == ACK0)
+         | (seq == true  & ack == ACK1) then
+          waiting := false;
+          seq := !seq;
+        end
+      end
+    end
+    v}
+
+    Types are [bool], integer ranges [lo..hi] and enumerations
+    [{ A, B, C }].  The [update] block runs once per clock: all reads
+    see current values, [x := e;] sets the next value (at most once
+    per variable per cycle), unassigned variables hold.  Conditionals
+    are [if .. then .. elsif .. else .. end]. *)
+
+exception Error of string * int  (** message, 1-based line *)
+
+val parse : string -> Model.t
+(** Builds the enumerable model.
+    @raise Error on syntax or type problems. *)
+
+val model_name : string -> string
+(** The declared model name, without building the transition
+    function.  @raise Error as {!parse}. *)

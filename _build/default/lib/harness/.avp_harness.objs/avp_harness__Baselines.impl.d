@@ -1,0 +1,1 @@
+lib/harness/baselines.ml: Array Avp_pp Drive Isa List Random Rtl

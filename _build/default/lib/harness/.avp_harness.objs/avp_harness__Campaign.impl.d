@@ -1,0 +1,1 @@
+lib/harness/campaign.ml: Array Avp_pp Baselines Bugs Compare Drive Format List Rtl

@@ -1,0 +1,1 @@
+lib/harness/campaign.mli: Avp_enum Avp_pp Avp_tour Compare Drive Format

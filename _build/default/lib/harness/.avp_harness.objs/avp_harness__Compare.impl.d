@@ -1,0 +1,1 @@
+lib/harness/compare.ml: Avp_pp Format List Rtl Spec

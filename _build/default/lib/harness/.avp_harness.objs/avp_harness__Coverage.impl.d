@@ -1,0 +1,1 @@
+lib/harness/coverage.ml: Array Avp_enum Avp_pp Control_model Drive Format Hashtbl Rtl

@@ -1,0 +1,1 @@
+lib/harness/coverage.mli: Avp_enum Avp_pp Drive Format

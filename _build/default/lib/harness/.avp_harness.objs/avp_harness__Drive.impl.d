@@ -1,0 +1,1 @@
+lib/harness/drive.ml: Array Avp_enum Avp_fsm Avp_pp Avp_tour Control_model Fun Isa List Model Option Random Rtl

@@ -1,0 +1,1 @@
+lib/harness/drive.mli: Avp_enum Avp_pp Avp_tour

@@ -1,0 +1,1 @@
+lib/harness/fsm_demo.ml: Array Avp_enum Avp_fsm Avp_tour Model

@@ -1,0 +1,1 @@
+lib/harness/fsm_demo.mli:

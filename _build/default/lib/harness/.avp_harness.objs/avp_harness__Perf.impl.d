@@ -1,0 +1,1 @@
+lib/harness/perf.ml: Avp_pp Compare Drive Format Rtl

@@ -1,0 +1,1 @@
+lib/harness/perf.mli: Avp_pp Drive Format

@@ -1,0 +1,118 @@
+open Avp_pp
+
+let pool_lines = 16
+let line_words = Rtl.default_config.Rtl.line_words
+let pool_words = pool_lines * line_words
+
+let mem_init () = List.init pool_words (fun a -> (a, 0x100 + a))
+
+let random_stimulus ~seed ~instructions =
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  (* Realistic random testing draws addresses from a wide space: the
+     corner-case conjunctions (same-line conflicts, spill reuse) that
+     a 16-line pool would produce by accident become rare. *)
+  let wide_pool = 128 * line_words in
+  let addr () = Random.State.int rng wide_pool in
+  let classes =
+    (* Biased toward memory traffic, as random processor test
+       generators are. *)
+    [| Isa.LD; Isa.LD; Isa.SD; Isa.SD; Isa.ALU; Isa.ALU; Isa.SWITCH;
+       Isa.SEND |]
+  in
+  let program =
+    Array.init instructions (fun _ ->
+        let cls = classes.(Random.State.int rng (Array.length classes)) in
+        Isa.random_of_class rng cls ~addr)
+  in
+  let program = Array.append program [| Isa.Halt |] in
+  (* Interfaces are mostly ready: real Inbox/Outbox back-pressure is
+     occasional, which is precisely why conjunction bugs escape
+     random testing. *)
+  let inbox_mask = 23 + Random.State.int rng 18 in
+  let outbox_mask = 23 + Random.State.int rng 18 in
+  let ready c = (c mod inbox_mask <> 0, c mod outbox_mask <> 1) in
+  let switches =
+    Array.fold_left
+      (fun n i -> if Isa.classify i = Isa.SWITCH then n + 1 else n)
+      0 program
+  in
+  {
+    Drive.program;
+    ready;
+    inbox = List.init (switches + 8) (fun i -> 0x7000 + i);
+    mem_init = mem_init ();
+    source_edges = 0;
+  }
+
+let always_ready _ = (true, true)
+
+let simple ?(ready = always_ready) ?(inbox = []) name instrs =
+  ( name,
+    {
+      Drive.program = Array.of_list (instrs @ [ Isa.Halt ]);
+      ready;
+      inbox;
+      mem_init = mem_init ();
+      source_edges = 0;
+    } )
+
+let directed_suite () =
+  [
+    simple "alu basics"
+      [
+        Isa.Alui (Isa.Add, 1, 0, 5);
+        Isa.Alui (Isa.Add, 2, 0, 9);
+        Isa.Alu (Isa.Add, 3, 1, 2);
+        Isa.Alu (Isa.Sub, 4, 2, 1);
+        Isa.Alu (Isa.Xor, 5, 3, 4);
+        Isa.Alu (Isa.Slt, 6, 4, 3);
+      ];
+    simple "load store hit"
+      [
+        Isa.Alui (Isa.Add, 1, 0, 0x42);
+        Isa.Sw (1, 0, 4);
+        Isa.Lw (2, 0, 4);
+        Isa.Lw (3, 0, 5);
+      ];
+    simple "cache miss and refill"
+      [
+        Isa.Lw (1, 0, 0);
+        Isa.Lw (2, 0, 16);
+        Isa.Lw (3, 0, 32);
+        Isa.Lw (4, 0, 48);
+        Isa.Lw (5, 0, 1);
+      ];
+    simple "dirty eviction"
+      [
+        Isa.Alui (Isa.Add, 1, 0, 0x77);
+        Isa.Sw (1, 0, 0);
+        Isa.Lw (2, 0, 16);
+        Isa.Lw (3, 0, 32);
+        Isa.Lw (4, 0, 0);
+      ];
+    simple "split store conflict"
+      [
+        Isa.Alui (Isa.Add, 1, 0, 0x11);
+        Isa.Alui (Isa.Add, 2, 0, 0x22);
+        Isa.Lw (7, 0, 0);
+        Isa.Nop;
+        Isa.Sw (1, 0, 1);
+        Isa.Lw (3, 0, 1);
+      ];
+    simple "outbox stall"
+      ~ready:(fun c -> (true, c > 6))
+      [ Isa.Alui (Isa.Add, 1, 0, 3); Isa.Send 1; Isa.Send 1 ];
+    simple "inbox stall"
+      ~ready:(fun c -> (c > 6, true))
+      ~inbox:[ 0xAA; 0xBB ]
+      [ Isa.Switch 1; Isa.Switch 2; Isa.Alu (Isa.Add, 3, 1, 2) ];
+    simple "branches"
+      [
+        Isa.Alui (Isa.Add, 1, 0, 1);
+        Isa.Beq (1, 0, 2);
+        Isa.Alui (Isa.Add, 2, 0, 7);
+        Isa.Bne (1, 0, 1);
+        Isa.Alui (Isa.Add, 3, 0, 9);
+        Isa.Alu (Isa.Add, 4, 1, 2);
+      ];
+  ]

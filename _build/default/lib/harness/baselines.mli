@@ -1,0 +1,16 @@
+(** The comparison test-generation methods of the paper's
+    introduction: hand-written directed tests and biased-random tests.
+    "Both of these methods fail to provide a measurable degree of
+    confidence that a complex design is adequately tested." *)
+
+val random_stimulus : seed:int -> instructions:int -> Drive.stimulus
+(** A biased-random program (class mix weighted toward memory
+    operations), random addresses over the shared pool, and a random
+    Inbox/Outbox stall schedule. *)
+
+val directed_suite : unit -> (string * Drive.stimulus) list
+(** Hand-written directed tests in the style a verification engineer
+    writes without knowledge of the specific corner cases: basic ALU,
+    load/store hit, miss and eviction, split-store conflict, Inbox and
+    Outbox stalls, branches.  Each exercises one mechanism at a
+    time. *)

@@ -1,0 +1,79 @@
+open Avp_pp
+
+type verdict =
+  | Match
+  | Mismatch of {
+      category : string;
+      index : int;
+      expected : Spec.effect_ option;
+      actual : Spec.effect_ option;
+    }
+
+let pp_verdict ppf = function
+  | Match -> Format.pp_print_string ppf "match"
+  | Mismatch { category; index; expected; actual } ->
+    let pp_opt ppf = function
+      | None -> Format.pp_print_string ppf "<none>"
+      | Some e -> Spec.pp_effect ppf e
+    in
+    Format.fprintf ppf "mismatch in %s stream at %d: spec %a, rtl %a"
+      category index pp_opt expected pp_opt actual
+
+let split effects =
+  let regs = ref [] and mems = ref [] and sends = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Spec.Reg_write _ -> regs := e :: !regs
+      | Spec.Mem_write _ -> mems := e :: !mems
+      | Spec.Outbox_send _ -> sends := e :: !sends)
+    effects;
+  (List.rev !regs, List.rev !mems, List.rev !sends)
+
+let compare_stream category ~spec ~rtl ~require_equal_length =
+  let rec go i spec rtl =
+    match spec, rtl with
+    | [], [] -> Match
+    | [], a :: _ ->
+      Mismatch { category; index = i; expected = None; actual = Some a }
+    | e :: _, [] ->
+      if require_equal_length then
+        Mismatch { category; index = i; expected = Some e; actual = None }
+      else Match
+    | e :: spec', a :: rtl' ->
+      if Spec.effect_equal e a then go (i + 1) spec' rtl'
+      else
+        Mismatch { category; index = i; expected = Some e; actual = Some a }
+  in
+  go 0 spec rtl
+
+let compare_effects ~spec ~rtl ~rtl_halted =
+  let s_regs, s_mems, s_sends = split spec in
+  let r_regs, r_mems, r_sends = split rtl in
+  let checks =
+    [
+      ("register-write", s_regs, r_regs);
+      ("memory-write", s_mems, r_mems);
+      ("outbox", s_sends, r_sends);
+    ]
+  in
+  let rec go = function
+    | [] -> Match
+    | (category, spec, rtl) :: rest ->
+      (match
+         compare_stream category ~spec ~rtl
+           ~require_equal_length:rtl_halted
+       with
+       | Match -> go rest
+       | Mismatch _ as m -> m)
+  in
+  go checks
+
+let run ?config ?(max_cycles = 50_000) ?(ready = fun _ -> (true, true))
+    ?(mem_init = []) ~program ~inbox () =
+  let spec_sim = Spec.create ~mem_init ~program ~inbox () in
+  Spec.run spec_sim;
+  let rtl = Rtl.create ?config ~mem_init ~program ~inbox () in
+  Rtl.run ~max_cycles ~ready rtl;
+  compare_effects ~spec:(Spec.effects spec_sim) ~rtl:(Rtl.effects rtl)
+    ~rtl_halted:(Rtl.halted rtl)

@@ -1,0 +1,42 @@
+(** RTL-vs-specification result comparison (step 4).
+
+    Both models run the same program and Inbox contents; the RTL
+    additionally sees per-cycle Inbox/Outbox readiness (stalls).
+    Because stalls only delay execution, the architectural effect
+    streams must match.  Split stores may legitimately drain after a
+    younger load's register write, so each category — register writes,
+    memory writes, Outbox sends — is compared as its own in-order
+    stream, exactly the difference-in-data-values check the paper
+    relies on ("the bugs must manifest as data value differences
+    between the implementation and the specification"). *)
+
+type verdict =
+  | Match
+  | Mismatch of {
+      category : string;
+      index : int;
+      expected : Avp_pp.Spec.effect_ option;  (** from the specification *)
+      actual : Avp_pp.Spec.effect_ option;  (** from the RTL *)
+    }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val run :
+  ?config:Avp_pp.Rtl.config ->
+  ?max_cycles:int ->
+  ?ready:(int -> bool * bool) ->
+  ?mem_init:(int * int) list ->
+  program:Avp_pp.Isa.t array ->
+  inbox:int list ->
+  unit ->
+  verdict
+(** Runs both models to completion (or the cycle budget) and compares.
+    When the RTL is cut off by the budget, streams are compared up to
+    the shorter length — a truncated run cannot produce a false
+    mismatch. *)
+
+val compare_effects :
+  spec:Avp_pp.Spec.effect_ list ->
+  rtl:Avp_pp.Spec.effect_ list ->
+  rtl_halted:bool ->
+  verdict

@@ -1,0 +1,101 @@
+open Avp_pp
+
+type t = {
+  states_seen : int;
+  states_total : int;
+  arcs_seen : int;
+  arcs_total : int;
+  unmapped_cycles : int;
+}
+
+let state_fraction c =
+  if c.states_total = 0 then 0.
+  else float_of_int c.states_seen /. float_of_int c.states_total
+
+let arc_fraction c =
+  if c.arcs_total = 0 then 0.
+  else float_of_int c.arcs_seen /. float_of_int c.arcs_total
+
+let pp ppf c =
+  Format.fprintf ppf
+    "states %d/%d (%.1f%%), arcs %d/%d (%.1f%%), unmapped cycles %d"
+    c.states_seen c.states_total
+    (100. *. state_fraction c)
+    c.arcs_seen c.arcs_total
+    (100. *. arc_fraction c)
+    c.unmapped_cycles
+
+type accumulator = {
+  cfg : Control_model.cfg;
+  graph : Avp_enum.State_graph.t;
+  index : int array -> int option;
+  seen_states : bool array;
+  seen_arcs : (int * int, unit) Hashtbl.t;
+  mutable unmapped : int;
+}
+
+let create cfg graph =
+  {
+    cfg;
+    graph;
+    index = Avp_enum.State_graph.make_index graph;
+    seen_states = Array.make (Avp_enum.State_graph.num_states graph) false;
+    seen_arcs = Hashtbl.create 1024;
+    unmapped = 0;
+  }
+
+let run ?config ?(max_cycles = 20_000) acc (stim : Drive.stimulus) =
+  let rtl =
+    Rtl.create ?config ~mem_init:stim.Drive.mem_init
+      ~program:stim.Drive.program ~inbox:stim.Drive.inbox ()
+  in
+  let prev = ref None in
+  let record () =
+    let v = Control_model.valuation_of_obs acc.cfg (Rtl.observe rtl) in
+    match acc.index v with
+    | None ->
+      acc.unmapped <- acc.unmapped + 1;
+      prev := None
+    | Some id ->
+      acc.seen_states.(id) <- true;
+      (match !prev with
+       | Some p ->
+         (* Record the (src, dst) pair when it is a real graph arc. *)
+         let is_arc =
+           Array.exists
+             (fun (d, _) -> d = id)
+             acc.graph.Avp_enum.State_graph.adj.(p)
+         in
+         if is_arc then Hashtbl.replace acc.seen_arcs (p, id) ()
+       | None -> ());
+      prev := Some id
+  in
+  let rec loop () =
+    if (not (Rtl.halted rtl)) && Rtl.cycle rtl < max_cycles then begin
+      let ib, ob = stim.Drive.ready (Rtl.cycle rtl) in
+      Rtl.step rtl ~inbox_ready:ib ~outbox_ready:ob;
+      record ();
+      loop ()
+    end
+  in
+  loop ()
+
+let result acc =
+  let arcs_total =
+    (* Distinct (src, dst) pairs: parallel conditions collapse for the
+       purpose of arc coverage measured from observations. *)
+    let pairs = Hashtbl.create 1024 in
+    Array.iteri
+      (fun src out ->
+        Array.iter (fun (dst, _) -> Hashtbl.replace pairs (src, dst) ()) out)
+      acc.graph.Avp_enum.State_graph.adj;
+    Hashtbl.length pairs
+  in
+  {
+    states_seen =
+      Array.fold_left (fun n b -> if b then n + 1 else n) 0 acc.seen_states;
+    states_total = Avp_enum.State_graph.num_states acc.graph;
+    arcs_seen = Hashtbl.length acc.seen_arcs;
+    arcs_total;
+    unmapped_cycles = acc.unmapped;
+  }

@@ -1,0 +1,37 @@
+(** Arc coverage measurement.
+
+    Runs the RTL under a stimulus while projecting each cycle's
+    control observation onto the abstract state space, and counts
+    which arcs of the enumerated state graph the implementation
+    actually traversed.  This is the feedback signal of
+    coverage-driven validation: the generated vectors aim to push it
+    to 100%, random vectors plateau well below. *)
+
+type t = {
+  states_seen : int;
+  states_total : int;
+  arcs_seen : int;
+  arcs_total : int;
+  unmapped_cycles : int;
+      (** cycles whose observation is not a reachable abstract state —
+          abstraction mismatch, expected to be rare *)
+}
+
+val state_fraction : t -> float
+val arc_fraction : t -> float
+val pp : Format.formatter -> t -> unit
+
+type accumulator
+
+val create : Avp_pp.Control_model.cfg -> Avp_enum.State_graph.t -> accumulator
+
+val run :
+  ?config:Avp_pp.Rtl.config ->
+  ?max_cycles:int ->
+  accumulator ->
+  Drive.stimulus ->
+  unit
+(** Accumulates coverage from one stimulus run (coverage composes
+    across runs, like the union of tour traces). *)
+
+val result : accumulator -> t

@@ -1,0 +1,210 @@
+open Avp_pp
+open Avp_fsm
+
+type stimulus = {
+  program : Isa.t array;
+  ready : int -> bool * bool;
+  inbox : int list;
+  mem_init : (int * int) list;
+  source_edges : int;
+}
+
+(* Shadow of the default RTL D-cache used to steer addresses. *)
+module Shadow = struct
+  type t = {
+    sets : int;
+    ways : int;
+    line_words : int;
+    lines : int;  (* address-space pool, in lines *)
+    tags : int option array array;
+    dirty : bool array array;
+    lru : int array;
+    rng : Random.State.t;
+  }
+
+  let create rng =
+    let cfg = Rtl.default_config in
+    {
+      sets = cfg.Rtl.dcache_sets;
+      ways = cfg.Rtl.dcache_ways;
+      line_words = cfg.Rtl.line_words;
+      lines = 16;
+      tags = Array.init cfg.Rtl.dcache_sets (fun _ ->
+                 Array.make cfg.Rtl.dcache_ways None);
+      dirty = Array.init cfg.Rtl.dcache_sets (fun _ ->
+                  Array.make cfg.Rtl.dcache_ways false);
+      lru = Array.make cfg.Rtl.dcache_sets 0;
+      rng;
+    }
+
+  let set_of t line = line mod t.sets
+
+  let lookup t line =
+    let set = set_of t line in
+    let rec find w =
+      if w >= t.ways then None
+      else if t.tags.(set).(w) = Some line then Some (set, w)
+      else find (w + 1)
+    in
+    find 0
+
+  let cached_lines t =
+    let out = ref [] in
+    Array.iter
+      (fun row ->
+        Array.iter
+          (function Some l -> out := l :: !out | None -> ())
+          row)
+      t.tags;
+    !out
+
+  let uncached_lines t =
+    List.filter (fun l -> lookup t l = None) (List.init t.lines Fun.id)
+
+  (* Lines whose miss would evict a dirty victim. *)
+  let dirty_victim_lines t =
+    List.filter
+      (fun l ->
+        let set = set_of t l in
+        let victim = t.lru.(set) in
+        t.dirty.(set).(victim) && t.tags.(set).(victim) <> None)
+      (uncached_lines t)
+
+  let access t line ~store =
+    (match lookup t line with
+     | Some (set, way) ->
+       t.lru.(set) <- 1 - way;
+       if store then t.dirty.(set).(way) <- true
+     | None ->
+       let set = set_of t line in
+       let way = t.lru.(set) in
+       t.tags.(set).(way) <- Some line;
+       t.dirty.(set).(way) <- store;
+       t.lru.(set) <- 1 - way)
+
+  let pick rng = function
+    | [] -> None
+    | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+  let address t ~hit ~dirty ~same_line ~last_store_line ~store =
+    let line =
+      if same_line && last_store_line <> None then
+        Option.get last_store_line
+      else if hit then
+        match pick t.rng (cached_lines t) with
+        | Some l -> l
+        | None -> Random.State.int t.rng t.lines
+      else begin
+        let candidates =
+          if dirty then
+            match dirty_victim_lines t with
+            | [] -> uncached_lines t
+            | l -> l
+          else uncached_lines t
+        in
+        match pick t.rng candidates with
+        | Some l -> l
+        | None -> Random.State.int t.rng t.lines
+      end
+    in
+    access t line ~store;
+    (line * t.line_words) + Random.State.int t.rng t.line_words
+end
+
+let of_trace ?(seed = 0) (cfg : Control_model.cfg)
+    (graph : Avp_enum.State_graph.t) (trace : Avp_tour.Tour_gen.trace) :
+    stimulus =
+  let model = graph.Avp_enum.State_graph.model in
+  let rng = Random.State.make [| seed; Array.length trace |] in
+  let shadow = Shadow.create rng in
+  let var_index name =
+    let idx = ref (-1) in
+    Array.iteri
+      (fun i (v : Model.var) -> if v.Model.name = name then idx := i)
+      model.Model.choice_vars;
+    !idx
+  in
+  let ix_instr = var_index "instr" in
+  let ix_dhit = var_index "d_hit" in
+  let ix_dirty = var_index "dirty_victim" in
+  let ix_same = var_index "same_line" in
+  let ix_inbox = var_index "inbox_ready" in
+  let ix_outbox = var_index "outbox_ready" in
+  let ix_taken = var_index "br_taken" in
+  let choice_bit choices ix default =
+    if ix < 0 then default else choices.(ix) = 1
+  in
+  let program = ref [] in
+  let ready_pattern = ref [] in
+  let switches = ref 0 in
+  let last_store_line = ref None in
+  let instr_of_class cls choices =
+    match cls with
+    | 1 -> Isa.random_of_class rng Isa.ALU ~addr:(fun () -> 0)
+    | 2 | 3 ->
+      let store = cls = 3 in
+      let addr =
+        Shadow.address shadow
+          ~hit:(choice_bit choices ix_dhit true)
+          ~dirty:(choice_bit choices ix_dirty false)
+          ~same_line:(choice_bit choices ix_same false)
+          ~last_store_line:!last_store_line ~store
+      in
+      if store then begin
+        last_store_line := Some (addr / shadow.Shadow.line_words);
+        Isa.Sw (1 + Random.State.int rng 7, 0, addr)
+      end
+      else Isa.Lw (1 + Random.State.int rng 7, 0, addr)
+    | 4 ->
+      incr switches;
+      Isa.Switch (1 + Random.State.int rng 7)
+    | 5 -> Isa.Send (1 + Random.State.int rng 7)
+    | 6 ->
+      (* Squashing-branch extension: realize the abstract branch
+         outcome with a trivially decidable branch — taken skips the
+         next instruction, not-taken falls through. *)
+      if choice_bit choices ix_taken false then Isa.Beq (0, 0, 1)
+      else Isa.Bne (0, 0, 1)
+    | _ -> Isa.Nop
+  in
+  Array.iter
+    (fun (s : Avp_tour.Tour_gen.step) ->
+      let choices = Model.choice_of_index model s.Avp_tour.Tour_gen.choice in
+      ready_pattern :=
+        ( choice_bit choices ix_inbox true,
+          choice_bit choices ix_outbox true )
+        :: !ready_pattern;
+      let k =
+        Control_model.instructions_of_edge cfg
+          ~src:graph.Avp_enum.State_graph.states.(s.Avp_tour.Tour_gen.src)
+          ~choice:choices
+      in
+      if k >= 1 && ix_instr >= 0 then begin
+        let cls = choices.(ix_instr) + 1 in
+        program := instr_of_class cls choices :: !program;
+        if k >= 2 then
+          program
+          := Isa.random_of_class rng Isa.ALU ~addr:(fun () -> 0) :: !program
+      end)
+    trace;
+  (* Always include one fully-ready cycle so cyclic replay cannot
+     starve the interfaces forever. *)
+  let pattern = Array.of_list (List.rev ((true, true) :: !ready_pattern)) in
+  let ready c = pattern.(c mod Array.length pattern) in
+  let pool_words = shadow.Shadow.lines * shadow.Shadow.line_words in
+  {
+    program = Array.of_list (List.rev (Isa.Halt :: !program));
+    ready;
+    inbox = List.init (!switches + 8) (fun i -> 0x5000 + i);
+    mem_init = List.init pool_words (fun a -> (a, 0x100 + a));
+    source_edges = Array.length trace;
+  }
+
+let of_traces ?(seed = 0) ?(seeds_per_trace = 1) cfg graph
+    (tours : Avp_tour.Tour_gen.t) =
+  Array.to_list tours.Avp_tour.Tour_gen.traces
+  |> List.mapi (fun i trace ->
+         List.init seeds_per_trace (fun k ->
+             of_trace ~seed:(seed + (i * seeds_per_trace) + k) cfg graph
+               trace))
+  |> List.concat

@@ -1,0 +1,105 @@
+open Avp_fsm
+
+type outcome = {
+  arcs_toured : int;
+  detected : bool;
+}
+
+(* A machine is a next-state table over the input alphabet plus a
+   Moore output per state. *)
+type machine = {
+  next : int -> int -> int;  (* state -> input -> state *)
+  output : int -> int;
+}
+
+let model_of_machine name ~states ~inputs (m : machine) =
+  Model.create ~name
+    ~state_vars:[ Model.var "s" (Array.init states string_of_int) ]
+    ~choice_vars:[ Model.var "in" (Array.init inputs string_of_int) ]
+    ~reset:[ 0 ]
+    ~next:(fun st ch -> [| m.next st.(0) ch.(0) |])
+
+(* Enumerate the implementation, tour it, replay the tour's condition
+   sequence on both machines from reset, compare outputs. *)
+let validate ~all_conditions ~states ~inputs ~spec ~impl =
+  let model = model_of_machine "impl" ~states ~inputs impl in
+  let graph = Avp_enum.State_graph.enumerate ~all_conditions model in
+  let tours = Avp_tour.Tour_gen.generate graph in
+  let arcs = ref 0 in
+  let detected = ref false in
+  Array.iter
+    (fun trace ->
+      let s_spec = ref 0 and s_impl = ref 0 in
+      Array.iter
+        (fun (step : Avp_tour.Tour_gen.step) ->
+          incr arcs;
+          let input =
+            (Model.choice_of_index model step.Avp_tour.Tour_gen.choice).(0)
+          in
+          s_spec := spec.next !s_spec input;
+          s_impl := impl.next !s_impl input;
+          if spec.output !s_spec <> impl.output !s_impl then detected := true)
+        trace)
+    tours.Avp_tour.Tour_gen.traces;
+  { arcs_toured = !arcs; detected = !detected }
+
+(* Figure 4.1 — implementation with more behaviours.  States A=0, B=1
+   and (impl only) C=2; inputs a=0, b=1, c=2.  The specification
+   ignores [c]; the implementation erroneously transitions B --c--> C,
+   where the output differs. *)
+let figure_4_1 () =
+  let spec =
+    {
+      next =
+        (fun s i ->
+          match s, i with
+          | 0, 0 -> 1
+          | 1, 1 -> 0
+          | s, _ -> s);
+      output = (fun s -> s);
+    }
+  in
+  let impl =
+    {
+      next =
+        (fun s i ->
+          match s, i with
+          | 0, 0 -> 1
+          | 1, 1 -> 0
+          | 1, 2 -> 2  (* the extra erroneous behaviour *)
+          | 2, _ -> 0
+          | s, _ -> s);
+      output = (fun s -> s);
+    }
+  in
+  validate ~all_conditions:false ~states:3 ~inputs:3 ~spec ~impl
+
+(* Figure 4.2 — implementation with fewer behaviours.  The spec sends
+   a=0 to state B=1 and c=2 to state C=2; the implementation performs
+   the same transition (to B) for both inputs.  b=1 returns to A. *)
+let figure_4_2 ~all_conditions =
+  let spec =
+    {
+      next =
+        (fun s i ->
+          match s, i with
+          | 0, 0 -> 1
+          | 0, 2 -> 2
+          | (1 | 2), 1 -> 0
+          | s, _ -> s);
+      output = (fun s -> s);
+    }
+  in
+  let impl =
+    {
+      next =
+        (fun s i ->
+          match s, i with
+          | 0, 0 -> 1
+          | 0, 2 -> 1  (* erroneously the same transition as input a *)
+          | (1 | 2), 1 -> 0
+          | s, _ -> s);
+      output = (fun s -> s);
+    }
+  in
+  validate ~all_conditions ~states:3 ~inputs:3 ~spec ~impl

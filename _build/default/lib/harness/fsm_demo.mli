@@ -1,0 +1,28 @@
+(** The Section 4 limitation studies (Figures 4.1 and 4.2).
+
+    Both build a tiny specification/implementation FSM pair, enumerate
+    the {e implementation}, generate a transition tour, replay the
+    tour's input sequence on both machines and compare outputs — a
+    miniature of the whole methodology.
+
+    Figure 4.1: the implementation has {e more} behaviours (an extra
+    erroneous transition).  Enumerating the implementation covers the
+    extra arc, so simulation exposes the difference.
+
+    Figure 4.2: the implementation has {e fewer} behaviours (inputs
+    [a] and [c] erroneously share a transition).  With the default
+    first-condition edge labels the wrong [c] transition is never
+    exercised and the bug escapes; recording {e all} unique conditions
+    (the fix the paper proposes) catches it. *)
+
+type outcome = {
+  arcs_toured : int;
+  detected : bool;
+}
+
+val figure_4_1 : unit -> outcome
+(** Expected: [detected = true]. *)
+
+val figure_4_2 : all_conditions:bool -> outcome
+(** Expected: [detected = false] with first-condition labels,
+    [true] with [~all_conditions:true]. *)

@@ -1,0 +1,1 @@
+lib/hdl/ast.ml: Avp_logic Format Hashtbl List String

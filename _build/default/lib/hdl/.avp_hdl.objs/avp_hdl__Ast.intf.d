@@ -1,0 +1,1 @@
+lib/hdl/ast.mli: Avp_logic Format

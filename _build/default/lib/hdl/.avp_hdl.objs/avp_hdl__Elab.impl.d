@@ -1,0 +1,1 @@
+lib/hdl/elab.ml: Array Ast Avp_logic Format Hashtbl List Option

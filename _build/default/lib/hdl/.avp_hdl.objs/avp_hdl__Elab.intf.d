@@ -1,0 +1,1 @@
+lib/hdl/elab.mli: Ast Avp_logic Format Hashtbl

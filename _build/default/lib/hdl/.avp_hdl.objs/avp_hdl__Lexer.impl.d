@@ -1,0 +1,1 @@
+lib/hdl/lexer.ml: Ast Avp_logic Bit Bv Char Format List Printf String

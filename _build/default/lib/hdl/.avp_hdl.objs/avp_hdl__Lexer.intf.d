@@ -1,0 +1,1 @@
+lib/hdl/lexer.mli: Ast Avp_logic Format

@@ -1,0 +1,1 @@
+lib/hdl/lint.ml: Array Ast Elab Format List Option Printf

@@ -1,0 +1,1 @@
+lib/hdl/lint.mli: Elab Format

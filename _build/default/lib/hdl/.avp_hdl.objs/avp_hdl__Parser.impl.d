@@ -1,0 +1,1 @@
+lib/hdl/parser.ml: Array Ast Avp_logic Bit Bv Format Hashtbl Lexer List Option Printf

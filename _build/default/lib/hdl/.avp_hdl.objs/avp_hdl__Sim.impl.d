@@ -1,0 +1,1 @@
+lib/hdl/sim.ml: Array Ast Avp_logic Bit Bv Elab Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/hdl/sim.mli: Ast Avp_logic Elab

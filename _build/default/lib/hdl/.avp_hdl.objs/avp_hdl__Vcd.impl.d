@@ -1,0 +1,1 @@
+lib/hdl/vcd.ml: Avp_logic Buffer Bv Char Elab List Printf Sim String

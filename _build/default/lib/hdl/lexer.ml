@@ -1,0 +1,347 @@
+type token =
+  | Module | Endmodule | Input | Output | Inout | Wire | Reg
+  | Assign | Always | Begin | End | If | Else
+  | Case | Casex | Endcase | Default | Posedge | Negedge | Or_kw | Initial
+  | Parameter
+  | Ident of string
+  | Int of int
+  | Sized of Avp_logic.Bv.t
+  | Directive of string
+  | Lparen | Rparen | Lbracket | Rbracket | Lbrace | Rbrace
+  | Semi | Colon | Comma | Dot | At | Star | Question | Hash
+  | Eq_assign
+  | Le_or_nonblocking
+  | Eq | Neq | Ceq | Cneq | Lt | Gt | Ge | Shl | Shr
+  | Plus | Minus | Amp | Pipe | Caret | Tilde | Bang | Andand | Oror
+  | Eof
+
+type t = { tok : token; loc : Ast.loc }
+
+exception Error of string * Ast.loc
+
+let fail msg loc = raise (Error (msg, loc))
+
+let keyword = function
+  | "module" -> Some Module
+  | "endmodule" -> Some Endmodule
+  | "input" -> Some Input
+  | "output" -> Some Output
+  | "inout" -> Some Inout
+  | "wire" -> Some Wire
+  | "reg" -> Some Reg
+  | "assign" -> Some Assign
+  | "always" -> Some Always
+  | "begin" -> Some Begin
+  | "end" -> Some End
+  | "if" -> Some If
+  | "else" -> Some Else
+  | "case" -> Some Case
+  | "casex" -> Some Casex
+  | "endcase" -> Some Endcase
+  | "default" -> Some Default
+  | "posedge" -> Some Posedge
+  | "negedge" -> Some Negedge
+  | "or" -> Some Or_kw
+  | "initial" -> Some Initial
+  | "parameter" | "localparam" -> Some Parameter
+  | _ -> None
+
+let pp_token ppf t =
+  let s =
+    match t with
+    | Module -> "module" | Endmodule -> "endmodule" | Input -> "input"
+    | Output -> "output" | Inout -> "inout" | Wire -> "wire" | Reg -> "reg"
+    | Assign -> "assign" | Always -> "always" | Begin -> "begin"
+    | End -> "end" | If -> "if" | Else -> "else" | Case -> "case"
+    | Casex -> "casex" | Endcase -> "endcase" | Default -> "default"
+    | Posedge -> "posedge" | Negedge -> "negedge" | Or_kw -> "or"
+    | Initial -> "initial" | Parameter -> "parameter"
+    | Ident s -> s
+    | Int n -> string_of_int n
+    | Sized v ->
+      Printf.sprintf "%d'b%s" (Avp_logic.Bv.width v)
+        (Avp_logic.Bv.to_string v)
+    | Directive s -> "// avp " ^ s
+    | Lparen -> "(" | Rparen -> ")" | Lbracket -> "[" | Rbracket -> "]"
+    | Lbrace -> "{" | Rbrace -> "}" | Semi -> ";" | Colon -> ":"
+    | Comma -> "," | Dot -> "." | At -> "@" | Star -> "*"
+    | Question -> "?" | Hash -> "#"
+    | Eq_assign -> "=" | Le_or_nonblocking -> "<=" | Eq -> "=="
+    | Neq -> "!=" | Ceq -> "===" | Cneq -> "!==" | Lt -> "<" | Gt -> ">"
+    | Ge -> ">=" | Shl -> "<<" | Shr -> ">>" | Plus -> "+" | Minus -> "-"
+    | Amp -> "&" | Pipe -> "|" | Caret -> "^" | Tilde -> "~" | Bang -> "!"
+    | Andand -> "&&" | Oror -> "||" | Eof -> "<eof>"
+  in
+  Format.pp_print_string ppf s
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let is_base_digit base c =
+  match base with
+  | 'b' -> c = '0' || c = '1' || c = 'x' || c = 'X' || c = 'z' || c = 'Z'
+  | 'd' -> is_digit c
+  | 'h' ->
+    is_digit c
+    || (c >= 'a' && c <= 'f')
+    || (c >= 'A' && c <= 'F')
+    || c = 'x' || c = 'X' || c = 'z' || c = 'Z'
+  | 'o' -> c >= '0' && c <= '7'
+  | _ -> false
+
+(* Expand one digit of a based literal into bits, MSB first. *)
+let digit_bits base c =
+  let open Avp_logic.Bit in
+  let nibble n width =
+    List.init width (fun i -> of_bool (n lsr (width - 1 - i) land 1 = 1))
+  in
+  match base, c with
+  | 'b', ('x' | 'X') -> [ X ]
+  | 'b', ('z' | 'Z') -> [ Z ]
+  | 'b', c -> [ of_bool (c = '1') ]
+  | 'h', ('x' | 'X') -> [ X; X; X; X ]
+  | 'h', ('z' | 'Z') -> [ Z; Z; Z; Z ]
+  | 'h', c ->
+    let n =
+      if is_digit c then Char.code c - Char.code '0'
+      else 10 + (Char.code (Char.lowercase_ascii c) - Char.code 'a')
+    in
+    nibble n 4
+  | 'o', c -> nibble (Char.code c - Char.code '0') 3
+  | _ -> invalid_arg "digit_bits"
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.col <- 1
+   | Some _ -> st.col <- st.col + 1
+   | None -> ());
+  st.pos <- st.pos + 1
+
+let loc st : Ast.loc = { line = st.line; col = st.col }
+
+let read_while st pred =
+  let start = st.pos in
+  while (match peek st with Some c -> pred c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let read_line_rest st =
+  let s = read_while st (fun c -> c <> '\n') in
+  s
+
+let skip_block_comment st start_loc =
+  let rec loop () =
+    match peek st, peek2 st with
+    | Some '*', Some '/' ->
+      advance st;
+      advance st
+    | Some _, _ ->
+      advance st;
+      loop ()
+    | None, _ -> fail "unterminated block comment" start_loc
+  in
+  loop ()
+
+(* Reads the part of a literal after the width has been consumed:
+   ['] base digits.  [width] of 0 means unsized. *)
+let read_based_literal st width lit_loc =
+  advance st;
+  (* past the quote *)
+  let base =
+    match peek st with
+    | Some ('b' | 'B') -> 'b'
+    | Some ('d' | 'D') -> 'd'
+    | Some ('h' | 'H') -> 'h'
+    | Some ('o' | 'O') -> 'o'
+    | _ -> fail "expected literal base after '" lit_loc
+  in
+  advance st;
+  let digits =
+    read_while st (fun c -> c = '_' || is_base_digit base c)
+  in
+  let digits = String.concat "" (String.split_on_char '_' digits) in
+  if String.length digits = 0 then fail "empty literal" lit_loc;
+  let open Avp_logic in
+  let value =
+    if base = 'd' then
+      Bv.of_int ~width:(max width 32) (int_of_string digits)
+    else begin
+      let bits = ref [] in
+      String.iter
+        (fun c -> bits := !bits @ digit_bits base c)
+        digits;
+      Bv.of_bits !bits
+    end
+  in
+  if width = 0 then value
+  else if Bv.width value >= width then Bv.select value ~hi:(width - 1) ~lo:0
+  else begin
+    (* Extend with 0, or with x/z if the MSB is x/z, per Verilog. *)
+    let msb = Bv.get value (Bv.width value - 1) in
+    let fill =
+      match msb with Bit.X -> Bit.X | Bit.Z -> Bit.Z | Bit.L0 | Bit.L1 -> Bit.L0
+    in
+    let pad = Bv.create (width - Bv.width value) fill in
+    Bv.concat pad value
+  end
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let emit tok loc = toks := { tok; loc } :: !toks in
+  let rec loop () =
+    match peek st with
+    | None -> emit Eof (loc st)
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      loop ()
+    | Some '/' when peek2 st = Some '/' ->
+      let l = loc st in
+      advance st;
+      advance st;
+      let rest = String.trim (read_line_rest st) in
+      (match String.split_on_char ' ' rest with
+       | "avp" :: _ ->
+         let payload =
+           String.trim (String.sub rest 3 (String.length rest - 3))
+         in
+         emit (Directive payload) l
+       | _ -> ());
+      loop ()
+    | Some '/' when peek2 st = Some '*' ->
+      let l = loc st in
+      advance st;
+      advance st;
+      skip_block_comment st l;
+      loop ()
+    | Some '`' ->
+      (* Compiler directives such as `timescale: skip the line. *)
+      ignore (read_line_rest st);
+      loop ()
+    | Some c when is_ident_start c ->
+      let l = loc st in
+      let word = read_while st is_ident_char in
+      (match keyword word with
+       | Some k -> emit k l
+       | None -> emit (Ident word) l);
+      loop ()
+    | Some c when is_digit c ->
+      let l = loc st in
+      let digits = read_while st (fun c -> is_digit c || c = '_') in
+      let digits = String.concat "" (String.split_on_char '_' digits) in
+      let n = int_of_string digits in
+      (match peek st with
+       | Some '\'' ->
+         if n <= 0 then fail "literal width must be positive" l;
+         emit (Sized (read_based_literal st n l)) l
+       | _ -> emit (Int n) l);
+      loop ()
+    | Some '\'' ->
+      let l = loc st in
+      emit (Sized (read_based_literal st 0 l)) l;
+      loop ()
+    | Some c ->
+      let l = loc st in
+      let two target tok1 tok0 =
+        advance st;
+        if peek st = Some target then begin
+          advance st;
+          tok1
+        end
+        else tok0
+      in
+      let tok =
+        match c with
+        | '(' -> advance st; Lparen
+        | ')' -> advance st; Rparen
+        | '[' -> advance st; Lbracket
+        | ']' -> advance st; Rbracket
+        | '{' -> advance st; Lbrace
+        | '}' -> advance st; Rbrace
+        | ';' -> advance st; Semi
+        | ':' -> advance st; Colon
+        | ',' -> advance st; Comma
+        | '.' -> advance st; Dot
+        | '@' -> advance st; At
+        | '*' -> advance st; Star
+        | '?' -> advance st; Question
+        | '#' -> advance st; Hash
+        | '+' -> advance st; Plus
+        | '-' -> advance st; Minus
+        | '~' -> advance st; Tilde
+        | '^' -> advance st; Caret
+        | '&' -> two '&' Andand Amp
+        | '|' -> two '|' Oror Pipe
+        | '<' ->
+          advance st;
+          (match peek st with
+           | Some '=' -> advance st; Le_or_nonblocking
+           | Some '<' -> advance st; Shl
+           | _ -> Lt)
+        | '>' ->
+          advance st;
+          (match peek st with
+           | Some '=' -> advance st; Ge
+           | Some '>' -> advance st; Shr
+           | _ -> Gt)
+        | '=' ->
+          advance st;
+          (match peek st with
+           | Some '=' ->
+             advance st;
+             if peek st = Some '=' then begin
+               advance st;
+               Ceq
+             end
+             else Eq
+           | _ -> Eq_assign)
+        | '!' ->
+          advance st;
+          (match peek st with
+           | Some '=' ->
+             advance st;
+             if peek st = Some '=' then begin
+               advance st;
+               Cneq
+             end
+             else Neq
+           | _ -> Bang)
+        | c -> fail (Printf.sprintf "unexpected character %C" c) l
+      in
+      emit tok l;
+      loop ()
+  in
+  loop ();
+  let all = List.rev !toks in
+  (* Apply translate_off / translate_on regions. *)
+  let rec strip acc = function
+    | [] -> List.rev acc
+    | { tok = Directive "translate_off"; loc } :: rest ->
+      let rec skip = function
+        | [] -> fail "unterminated translate_off" loc
+        | { tok = Directive "translate_on"; _ } :: rest -> rest
+        | { tok = Eof; _ } :: _ -> fail "unterminated translate_off" loc
+        | _ :: rest -> skip rest
+      in
+      strip acc (skip rest)
+    | t :: rest -> strip (t :: acc) rest
+  in
+  strip [] all

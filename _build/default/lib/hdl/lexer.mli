@@ -1,0 +1,33 @@
+(** Hand-written lexer for the Verilog subset.
+
+    Comments of the form [// avp <payload>] become {!Token.Directive}
+    tokens; the [translate_off]/[translate_on] directive pair excises
+    the enclosed tokens, as the paper uses to skip diagnostic code.
+    All other comments are discarded. *)
+
+type token =
+  | Module | Endmodule | Input | Output | Inout | Wire | Reg
+  | Assign | Always | Begin | End | If | Else
+  | Case | Casex | Endcase | Default | Posedge | Negedge | Or_kw | Initial
+  | Parameter
+  | Ident of string
+  | Int of int                       (** unsized decimal literal *)
+  | Sized of Avp_logic.Bv.t          (** sized literal such as [8'b01xz] *)
+  | Directive of string
+  | Lparen | Rparen | Lbracket | Rbracket | Lbrace | Rbrace
+  | Semi | Colon | Comma | Dot | At | Star | Question | Hash
+  | Eq_assign                        (** [=] *)
+  | Le_or_nonblocking                (** [<=] *)
+  | Eq | Neq | Ceq | Cneq | Lt | Gt | Ge | Shl | Shr
+  | Plus | Minus | Amp | Pipe | Caret | Tilde | Bang | Andand | Oror
+  | Eof
+
+type t = { tok : token; loc : Ast.loc }
+
+exception Error of string * Ast.loc
+
+val tokenize : string -> t list
+(** @raise Error on malformed input or an unterminated
+    [translate_off] region. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,147 @@
+type severity = Warning | Error
+
+type finding = {
+  severity : severity;
+  rule : string;
+  net : string option;
+  message : string;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s: [%s]%s %s"
+    (match f.severity with Warning -> "warning" | Error -> "error")
+    f.rule
+    (match f.net with Some n -> " " ^ n | None -> "")
+    f.message
+
+(* Per-net facts gathered over the design. *)
+type facts = {
+  mutable assign_drivers : int;
+  mutable comb_writes : int;
+  mutable seq_writes : int;
+  mutable blocking_writes : int;
+  mutable nonblocking_writes : int;
+  mutable reads : int;
+  mutable is_edge_trigger : bool;  (* appears in a sensitivity list *)
+}
+
+let fresh () =
+  {
+    assign_drivers = 0;
+    comb_writes = 0;
+    seq_writes = 0;
+    blocking_writes = 0;
+    nonblocking_writes = 0;
+    reads = 0;
+    is_edge_trigger = false;
+  }
+
+let rec stmt_assign_kinds (s : Elab.estmt) ~on_blocking ~on_nonblocking =
+  match s with
+  | Elab.Block ss ->
+    List.iter (stmt_assign_kinds ~on_blocking ~on_nonblocking) ss
+  | Elab.Blocking (lv, _) -> List.iter on_blocking (Elab.lv_nets lv)
+  | Elab.Nonblocking (lv, _) -> List.iter on_nonblocking (Elab.lv_nets lv)
+  | Elab.If (_, t, e) ->
+    stmt_assign_kinds t ~on_blocking ~on_nonblocking;
+    Option.iter (stmt_assign_kinds ~on_blocking ~on_nonblocking) e
+  | Elab.Case (_, items, dflt) ->
+    List.iter
+      (fun (_, body) -> stmt_assign_kinds body ~on_blocking ~on_nonblocking)
+      items;
+    Option.iter (stmt_assign_kinds ~on_blocking ~on_nonblocking) dflt
+  | Elab.Nop -> ()
+
+let check (d : Elab.t) : finding list =
+  let n = Array.length d.Elab.nets in
+  let facts = Array.init n (fun _ -> fresh ()) in
+  Array.iter
+    (fun p ->
+      (match p with
+       | Elab.Assign (lv, _) ->
+         List.iter
+           (fun id -> facts.(id).assign_drivers <- facts.(id).assign_drivers + 1)
+           (Elab.lv_nets lv)
+       | Elab.Comb body ->
+         List.iter
+           (fun id -> facts.(id).comb_writes <- facts.(id).comb_writes + 1)
+           (Elab.stmt_writes body)
+       | Elab.Seq (edges, body) ->
+         List.iter
+           (fun (_, id) -> facts.(id).is_edge_trigger <- true)
+           edges;
+         List.iter
+           (fun id -> facts.(id).seq_writes <- facts.(id).seq_writes + 1)
+           (Elab.stmt_writes body));
+      (match p with
+       | Elab.Comb body | Elab.Seq (_, body) ->
+         stmt_assign_kinds body
+           ~on_blocking:(fun id ->
+             facts.(id).blocking_writes <- facts.(id).blocking_writes + 1)
+           ~on_nonblocking:(fun id ->
+             facts.(id).nonblocking_writes <-
+               facts.(id).nonblocking_writes + 1)
+       | Elab.Assign _ -> ());
+      let reads =
+        match p with
+        | Elab.Assign (lv, e) ->
+          Elab.expr_nets e
+          @ (let rec idx acc = function
+               | Elab.Lnet _ | Elab.Lrange _ -> acc
+               | Elab.Lindex (_, e) -> Elab.expr_nets e @ acc
+               | Elab.Lconcat ls -> List.fold_left idx acc ls
+             in
+             idx [] lv)
+        | Elab.Comb body | Elab.Seq (_, body) -> Elab.stmt_reads body
+      in
+      List.iter (fun id -> facts.(id).reads <- facts.(id).reads + 1) reads)
+    d.Elab.processes;
+  let out = ref [] in
+  let add severity rule net message =
+    out := { severity; rule; net = Some net; message } :: !out
+  in
+  Array.iteri
+    (fun id f ->
+      let net = d.Elab.nets.(id) in
+      let name = net.Elab.name in
+      let is_input = d.Elab.top_inputs.(id) in
+      let written =
+        f.assign_drivers + f.comb_writes + f.seq_writes > 0 || is_input
+      in
+      if f.assign_drivers > 0 && f.comb_writes + f.seq_writes > 0 then
+        add Error "multiple-drivers" name
+          "driven by both a continuous assignment and a process"
+      else if f.assign_drivers > 1 then
+        add Warning "multiple-drivers" name
+          (Printf.sprintf
+             "%d continuous drivers (fine for a tri-state bus, suspicious \
+              otherwise)"
+             f.assign_drivers);
+      if f.seq_writes > 0 && f.comb_writes > 0 then
+        add Error "seq-and-comb" name
+          "written by both sequential and combinational processes";
+      if f.blocking_writes > 0 && f.nonblocking_writes > 0 then
+        add Error "mixed-assignment" name
+          "written by both blocking and nonblocking assignments";
+      (match net.Elab.kind with
+       | Ast.Reg when not written && not f.is_edge_trigger ->
+         if f.reads > 0 then
+           add Error "reg-never-written" name "register is read but never \
+                                               assigned"
+         else add Warning "unused-net" name "declared but never used"
+       | Ast.Wire
+         when (not is_input) && f.assign_drivers = 0 && f.reads > 0
+              && (not f.is_edge_trigger)
+              && f.comb_writes + f.seq_writes = 0 ->
+         add Warning "wire-never-driven" name
+           "read but never driven (will float at z)"
+       | Ast.Reg | Ast.Wire ->
+         if (not written) && f.reads = 0 && not f.is_edge_trigger then
+           add Warning "unused-net" name "declared but never used"))
+    facts;
+  List.stable_sort
+    (fun a b ->
+      compare
+        (match a.severity with Error -> 0 | Warning -> 1)
+        (match b.severity with Error -> 0 | Warning -> 1))
+    (List.rev !out)

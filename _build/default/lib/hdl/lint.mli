@@ -1,0 +1,30 @@
+(** Structural lints over elaborated designs.
+
+    The paper's flow assumes a "stylized synthesizable subset"; these
+    checks catch departures from it early, before translation or
+    simulation produce confusing results. *)
+
+type severity = Warning | Error
+
+type finding = {
+  severity : severity;
+  rule : string;
+  net : string option;
+  message : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val check : Elab.t -> finding list
+(** All findings, errors first.  Rules:
+
+    - [multiple-drivers]: a net written by more than one continuous
+      assignment (legal for tri-state buses but suspicious for logic —
+      warning) or by both an assignment and a process (error);
+    - [reg-never-written]: a declared register no process assigns;
+    - [wire-never-driven]: a wire with no driver that is read;
+    - [unused-net]: declared but never read or written (warning);
+    - [mixed-assignment]: a register written by both blocking and
+      nonblocking assignments across processes (error);
+    - [seq-and-comb]: a register written by both sequential and
+      combinational processes (error). *)

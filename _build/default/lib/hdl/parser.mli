@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the Verilog subset.
+
+    Produces the {!Ast.design} for a source string.  Delay controls
+    ([#n]) are accepted and ignored; [avp] directives that share a
+    source line with a net declaration are attached to it as
+    attributes, others become standalone {!Ast.Directive} items. *)
+
+exception Error of string * Ast.loc
+
+val parse : string -> Ast.design
+(** @raise Error on a syntax error.
+    @raise Lexer.Error on a lexical error. *)
+
+val parse_module_exn : string -> Ast.module_decl
+(** Convenience for sources containing exactly one module. *)

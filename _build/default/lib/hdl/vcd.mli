@@ -1,0 +1,17 @@
+(** Value Change Dump (IEEE 1364 §18) writer for simulation traces.
+
+    Records selected nets each cycle and serializes the standard VCD
+    format, viewable in GTKWave and friends.  Four-valued logic maps
+    directly ([0 1 x z]). *)
+
+type t
+
+val create : Sim.t -> nets:string list -> t
+(** @raise Not_found if a net name does not exist. *)
+
+val sample : t -> unit
+(** Record current values at the current simulation time (call once
+    per clock cycle, after {!Sim.step}). *)
+
+val serialize : ?timescale:string -> ?top:string -> t -> string
+(** The complete VCD file contents. *)

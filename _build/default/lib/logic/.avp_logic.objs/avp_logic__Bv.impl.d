@@ -1,0 +1,1 @@
+lib/logic/bv.ml: Array Bit Bool Format Int String

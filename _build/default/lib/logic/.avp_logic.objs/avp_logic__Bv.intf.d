@@ -1,0 +1,1 @@
+lib/logic/bv.mli: Bit Format

@@ -1,0 +1,218 @@
+(* Index 0 of the backing array is the least significant bit. *)
+type t = Bit.t array
+
+let width = Array.length
+
+let create w b =
+  if w <= 0 then invalid_arg "Bv.create: width must be positive";
+  Array.make w b
+
+let zero w = create w Bit.L0
+let ones w = create w Bit.L1
+let all_x w = create w Bit.X
+let all_z w = create w Bit.Z
+
+let of_int ~width:w v =
+  if w <= 0 then invalid_arg "Bv.of_int: width must be positive";
+  if v < 0 then invalid_arg "Bv.of_int: negative value";
+  Array.init w (fun i -> Bit.of_bool (v lsr i land 1 = 1))
+
+let to_int v =
+  let w = width v in
+  if w > 62 then None
+  else
+    let rec loop acc i =
+      if i < 0 then Some acc
+      else
+        match Bit.to_bool v.(i) with
+        | None -> None
+        | Some b -> loop ((acc lsl 1) lor Bool.to_int b) (i - 1)
+    in
+    loop 0 (w - 1)
+
+let to_int_exn v =
+  match to_int v with
+  | Some n -> n
+  | None -> invalid_arg "Bv.to_int_exn: undefined bits"
+
+let of_bits bits =
+  match bits with
+  | [] -> invalid_arg "Bv.of_bits: empty"
+  | _ ->
+    let arr = Array.of_list bits in
+    let n = Array.length arr in
+    Array.init n (fun i -> arr.(n - 1 - i))
+
+let of_string s =
+  let bits = ref [] in
+  String.iter (fun c -> if c <> '_' then bits := Bit.of_char c :: !bits) s;
+  match !bits with
+  | [] -> invalid_arg "Bv.of_string: empty"
+  | lsb_first -> Array.of_list lsb_first
+
+let to_string v =
+  String.init (width v) (fun i -> Bit.to_char v.(width v - 1 - i))
+
+let get v i =
+  if i < 0 || i >= width v then invalid_arg "Bv.get: index out of range";
+  v.(i)
+
+let set v i b =
+  if i < 0 || i >= width v then invalid_arg "Bv.set: index out of range";
+  let v' = Array.copy v in
+  v'.(i) <- b;
+  v'
+
+let equal a b = width a = width b && Array.for_all2 Bit.equal a b
+
+let compare a b =
+  let c = Int.compare (width a) (width b) in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i < 0 then 0
+      else
+        let c = Bit.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i - 1)
+    in
+    loop (width a - 1)
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+let is_defined v = Array.for_all Bit.is_defined v
+
+let resize v w =
+  if w <= 0 then invalid_arg "Bv.resize: width must be positive";
+  Array.init w (fun i -> if i < width v then v.(i) else Bit.L0)
+
+let concat hi lo = Array.append lo hi
+
+let select v ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= width v then
+    invalid_arg "Bv.select: bad range";
+  Array.sub v lo (hi - lo + 1)
+
+let repeat n v =
+  if n <= 0 then invalid_arg "Bv.repeat: count must be positive";
+  Array.init (n * width v) (fun i -> v.(i mod width v))
+
+let map2 f a b =
+  let w = max (width a) (width b) in
+  let a = if width a = w then a else resize a w
+  and b = if width b = w then b else resize b w in
+  Array.init w (fun i -> f a.(i) b.(i))
+
+let logand = map2 Bit.logand
+let logor = map2 Bit.logor
+let logxor = map2 Bit.logxor
+let lognot v = Array.map Bit.lognot v
+let resolve = map2 Bit.resolve
+
+let reduce_and v = Array.fold_left Bit.logand Bit.L1 v
+let reduce_or v = Array.fold_left Bit.logor Bit.L0 v
+let reduce_xor v = Array.fold_left Bit.logxor Bit.L0 v
+
+let to_bool v = Bit.to_bool (reduce_or v)
+
+(* Arithmetic helpers: operate on defined vectors via a ripple scheme
+   so widths beyond 62 bits still work. *)
+
+let defined2 a b = is_defined a && is_defined b
+
+let add a b =
+  let w = max (width a) (width b) in
+  if not (defined2 a b) then all_x w
+  else begin
+    let a = resize a w and b = resize b w in
+    let out = Array.make w Bit.L0 in
+    let carry = ref false in
+    for i = 0 to w - 1 do
+      let ab = Bit.equal a.(i) Bit.L1 and bb = Bit.equal b.(i) Bit.L1 in
+      let sum = Bool.to_int ab + Bool.to_int bb + Bool.to_int !carry in
+      out.(i) <- Bit.of_bool (sum land 1 = 1);
+      carry := sum >= 2
+    done;
+    out
+  end
+
+let lognot_defined v = Array.map Bit.lognot v
+
+let neg v =
+  let w = width v in
+  if not (is_defined v) then all_x w
+  else add (lognot_defined v) (of_int ~width:w 1)
+
+let sub a b =
+  let w = max (width a) (width b) in
+  if not (defined2 a b) then all_x w else add (resize a w) (neg (resize b w))
+
+let mul a b =
+  let w = max (width a) (width b) in
+  if not (defined2 a b) then all_x w
+  else begin
+    let a = resize a w and b = resize b w in
+    let acc = ref (zero w) in
+    for i = 0 to w - 1 do
+      if Bit.equal b.(i) Bit.L1 then begin
+        let shifted =
+          Array.init w (fun j -> if j < i then Bit.L0 else a.(j - i))
+        in
+        acc := add !acc shifted
+      end
+    done;
+    !acc
+  end
+
+let eq a b =
+  if not (defined2 a b) then Bit.X
+  else Bit.of_bool (equal (resize a (max (width a) (width b)))
+                      (resize b (max (width a) (width b))))
+
+let neq a b = Bit.lognot (eq a b)
+
+(* Unsigned magnitude comparison from the most significant bit down. *)
+let ult a b =
+  let w = max (width a) (width b) in
+  let a = resize a w and b = resize b w in
+  let rec loop i =
+    if i < 0 then false
+    else if Bit.equal a.(i) b.(i) then loop (i - 1)
+    else Bit.equal b.(i) Bit.L1
+  in
+  loop (w - 1)
+
+let lt a b = if defined2 a b then Bit.of_bool (ult a b) else Bit.X
+let ge a b = if defined2 a b then Bit.of_bool (not (ult a b)) else Bit.X
+let gt a b = lt b a
+let le a b = ge b a
+
+let case_eq a b =
+  let w = max (width a) (width b) in
+  Bit.of_bool (equal (resize a w) (resize b w))
+
+let shift_amount v =
+  match to_int v with
+  | Some n -> Some n
+  | None -> None
+
+let shift_left v amt =
+  let w = width v in
+  match shift_amount amt with
+  | None -> all_x w
+  | Some n ->
+    Array.init w (fun i -> if i < n then Bit.L0 else v.(i - n))
+
+let shift_right v amt =
+  let w = width v in
+  match shift_amount amt with
+  | None -> all_x w
+  | Some n ->
+    Array.init w (fun i -> if i + n < w then v.(i + n) else Bit.L0)
+
+let mux ~sel a b =
+  match sel with
+  | Bit.L1 -> a
+  | Bit.L0 -> b
+  | Bit.X | Bit.Z ->
+    let w = max (width a) (width b) in
+    let a = resize a w and b = resize b w in
+    Array.init w (fun i -> Bit.mux ~sel a.(i) b.(i))

@@ -1,0 +1,100 @@
+(** Four-valued bit vectors with Verilog-style operator semantics.
+
+    A vector has a fixed positive width; index 0 is the least
+    significant bit.  Arithmetic and relational operators return
+    all-[X] / [X] whenever an input bit is undefined, matching the
+    pessimistic semantics of IEEE-1364 expressions.  Vectors are
+    immutable. *)
+
+type t
+
+val width : t -> int
+
+val create : int -> Bit.t -> t
+(** [create w b] is a [w]-wide vector with every bit [b]. *)
+
+val zero : int -> t
+val ones : int -> t
+val all_x : int -> t
+val all_z : int -> t
+
+val of_int : width:int -> int -> t
+(** Truncates to [width] low bits.  @raise Invalid_argument on
+    non-positive width or negative value. *)
+
+val to_int : t -> int option
+(** [None] if any bit is undefined or the width exceeds 62 bits. *)
+
+val to_int_exn : t -> int
+
+val of_bits : Bit.t list -> t
+(** Head of the list is the {e most} significant bit, as written. *)
+
+val of_string : string -> t
+(** Parses ["10xz"] (MSB first).  Underscores are ignored. *)
+
+val to_string : t -> string
+(** MSB first, e.g. ["10xz"]. *)
+
+val get : t -> int -> Bit.t
+(** @raise Invalid_argument when out of range. *)
+
+val set : t -> int -> Bit.t -> t
+(** Functional update. *)
+
+val equal : t -> t -> bool
+(** Case equality ([===]): exact per-bit match including X and Z. *)
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val is_defined : t -> bool
+
+val resize : t -> int -> t
+(** Zero-extends or truncates. *)
+
+val concat : t -> t -> t
+(** [concat hi lo]. *)
+
+val select : t -> hi:int -> lo:int -> t
+val repeat : int -> t -> t
+
+(* Bitwise (elementwise after zero-extension to max width). *)
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val resolve : t -> t -> t
+
+(* Reductions. *)
+val reduce_and : t -> Bit.t
+val reduce_or : t -> Bit.t
+val reduce_xor : t -> Bit.t
+
+val to_bool : t -> bool option
+(** Truth value of the vector as a condition: [Some true] if any bit
+    is 1, [Some false] if all bits are 0, [None] when undefined bits
+    prevent deciding. *)
+
+(* Arithmetic: result width is the max operand width; all-X on any
+   undefined input bit. *)
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+
+(* Relational: scalar results, [X] on undefined inputs. *)
+val eq : t -> t -> Bit.t
+val neq : t -> t -> Bit.t
+val lt : t -> t -> Bit.t
+val le : t -> t -> Bit.t
+val gt : t -> t -> Bit.t
+val ge : t -> t -> Bit.t
+
+val case_eq : t -> t -> Bit.t
+(** Verilog [===]: always defined. *)
+
+(* Shifts by a defined amount; all-X when the amount is undefined. *)
+val shift_left : t -> t -> t
+val shift_right : t -> t -> t
+
+val mux : sel:Bit.t -> t -> t -> t

@@ -1,0 +1,1 @@
+lib/pp/asm.mli: Format Isa

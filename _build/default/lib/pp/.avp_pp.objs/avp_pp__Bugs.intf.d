@@ -1,0 +1,1 @@
+lib/pp/bugs.mli: Format

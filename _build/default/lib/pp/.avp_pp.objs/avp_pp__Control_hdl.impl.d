@@ -1,0 +1,1 @@
+lib/pp/control_hdl.ml: Avp_fsm Avp_hdl List String

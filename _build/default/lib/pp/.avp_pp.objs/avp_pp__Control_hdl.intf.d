@@ -1,0 +1,1 @@
+lib/pp/control_hdl.mli: Avp_fsm Avp_hdl

@@ -1,0 +1,1 @@
+lib/pp/control_model.ml: Array Avp_fsm List Model Printf Rtl

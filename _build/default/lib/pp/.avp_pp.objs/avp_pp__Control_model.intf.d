@@ -1,0 +1,1 @@
+lib/pp/control_model.mli: Avp_fsm Rtl

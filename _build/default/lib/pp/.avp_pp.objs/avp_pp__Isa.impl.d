@@ -1,0 +1,1 @@
+lib/pp/isa.ml: Array Format List Option Random

@@ -1,0 +1,1 @@
+lib/pp/isa.mli: Format Random

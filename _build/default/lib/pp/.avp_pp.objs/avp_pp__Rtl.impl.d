@@ -1,0 +1,1 @@
+lib/pp/rtl.ml: Array Bugs Hashtbl Isa List Option Queue Spec

@@ -1,0 +1,1 @@
+lib/pp/rtl.mli: Bugs Isa Spec

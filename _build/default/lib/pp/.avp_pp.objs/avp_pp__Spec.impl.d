@@ -1,0 +1,1 @@
+lib/pp/spec.ml: Array Format Hashtbl Isa List Option Queue

@@ -1,0 +1,1 @@
+lib/pp/spec.mli: Format Isa

@@ -1,0 +1,1 @@
+lib/pp/wave.ml: Array List Printf Rtl String

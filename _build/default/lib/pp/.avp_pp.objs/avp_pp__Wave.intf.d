@@ -1,0 +1,1 @@
+lib/pp/wave.mli: Rtl

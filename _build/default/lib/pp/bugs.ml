@@ -1,0 +1,98 @@
+type id = Bug1 | Bug2 | Bug3 | Bug4 | Bug5 | Bug6
+
+type t = {
+  bug1 : bool;
+  bug2 : bool;
+  bug3 : bool;
+  bug4 : bool;
+  bug5 : bool;
+  bug6 : bool;
+}
+
+let none =
+  { bug1 = false; bug2 = false; bug3 = false; bug4 = false; bug5 = false;
+    bug6 = false }
+
+let only = function
+  | Bug1 -> { none with bug1 = true }
+  | Bug2 -> { none with bug2 = true }
+  | Bug3 -> { none with bug3 = true }
+  | Bug4 -> { none with bug4 = true }
+  | Bug5 -> { none with bug5 = true }
+  | Bug6 -> { none with bug6 = true }
+
+let enabled t = function
+  | Bug1 -> t.bug1
+  | Bug2 -> t.bug2
+  | Bug3 -> t.bug3
+  | Bug4 -> t.bug4
+  | Bug5 -> t.bug5
+  | Bug6 -> t.bug6
+
+let all_ids = [ Bug1; Bug2; Bug3; Bug4; Bug5; Bug6 ]
+
+let number = function
+  | Bug1 -> 1 | Bug2 -> 2 | Bug3 -> 3 | Bug4 -> 4 | Bug5 -> 5 | Bug6 -> 6
+
+let summary = function
+  | Bug1 ->
+    "Interface miscommunication between PP's cache controller and the \
+     Memory Controller."
+  | Bug2 -> "Latch not qualified on all stall conditions and lost data."
+  | Bug3 ->
+    "Cache conflict stall can cause wrong address to be used on the \
+     stalled load."
+  | Bug4 ->
+    "I-Stall fix-up cycle lost if I-Stall condition occurs during Mem-Stall."
+  | Bug5 ->
+    "Glitch on bus valid signal allows Z values to be latched on a load \
+     that missed followed by any other load/store instruction interrupted \
+     by an external stall condition."
+  | Bug6 ->
+    "Cache conflict stall with D-Cache hit and simultaneous I-stall \
+     results in stale data being loaded."
+
+let explanation = function
+  | Bug1 ->
+    "Qualification of an interface signal was needed, but the two units \
+     thought that the other would perform it.  The bug manifested itself \
+     as incorrect data being returned to the I-Cache."
+  | Bug2 ->
+    "On a simultaneous I & D Cache miss, the latch holding the data that \
+     was to be returned after the D-Cache refill was not qualified on the \
+     I-Stall and lost its data by the time the I-Cache miss was serviced."
+  | Bug3 ->
+    "The address used in the load of a conflict stall was not held during \
+     the stall.  If the load in the conflict stall was followed by another \
+     load/store instruction, the address of the following load/store was \
+     erroneously used."
+  | Bug4 ->
+    "The I-Cache refill machine takes a cycle to restore the correct \
+     values to the instruction registers after an I-Stall, but it was not \
+     qualified on MemStall, so the fix-up was lost if the I-Stall \
+     condition arose after MemStall was asserted (a switch or send \
+     waiting on the Inbox or Outbox)."
+  | Bug5 ->
+    "With critical-word-first restart the first word returned from memory \
+     is driven onto the Membus.  A following load/store caused a glitch \
+     on the Membus-valid signal after the critical word, overwriting it \
+     with garbage (the bus is at high impedance).  The older restart \
+     policy redrove the data, masking the glitch — unless an external \
+     stall arose in the window between the glitch and the second write."
+  | Bug6 ->
+    "A conflict stall occurs because of the split store operation when a \
+     load follows a store to the same line.  With a simultaneous \
+     externally-caused I-stall, the load received the stale data instead \
+     of the newly written data."
+
+let trigger = function
+  | Bug1 -> "I-cache refill and D-cache refill in flight simultaneously"
+  | Bug2 -> "D-cache refill completes while an I-stall is pending"
+  | Bug3 -> "conflict-stalled load with a load/store next in the pipeline"
+  | Bug4 -> "I-miss arises while an external (Inbox/Outbox) stall is held"
+  | Bug5 ->
+    "critical-word restart with a load/store in the pipe and an external \
+     stall inside the rewrite window"
+  | Bug6 -> "conflict stall on a same-line load with a simultaneous I-stall"
+
+let pp_id ppf id = Format.fprintf ppf "Bug #%d" (number id)

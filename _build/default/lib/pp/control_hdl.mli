@@ -1,0 +1,18 @@
+(** The PP control logic in the stylized Verilog subset, annotated for
+    the HDL-to-FSM translator (Section 3.1): the full demonstration of
+    the paper's flow from a Verilog description to an enumerable FSM
+    model, including the control-section line statistics the paper
+    reports (581 annotated lines of 2727). *)
+
+val source : string
+
+val parse : unit -> Avp_hdl.Ast.design
+val elaborate : unit -> Avp_hdl.Elab.t
+
+val translate : unit -> Avp_fsm.Translate.result
+(** @raise Avp_fsm.Translate.Unsupported if the annotations are ever
+    broken by an edit. *)
+
+val line_stats : unit -> int * int
+(** [(control_lines, total_lines)] of the module source, counted over
+    non-blank lines. *)

@@ -1,0 +1,154 @@
+type reg = int
+
+type alu_op = Add | Sub | And | Or | Xor | Slt
+
+type t =
+  | Alu of alu_op * reg * reg * reg
+  | Alui of alu_op * reg * reg * int
+  | Lw of reg * reg * int
+  | Sw of reg * reg * int
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Send of reg
+  | Switch of reg
+  | Nop
+  | Halt
+
+type iclass = ALU | LD | SD | SWITCH | SEND
+
+let classify = function
+  | Alu _ | Alui _ | Beq _ | Bne _ | Nop | Halt -> ALU
+  | Lw _ -> LD
+  | Sw _ -> SD
+  | Switch _ -> SWITCH
+  | Send _ -> SEND
+
+let class_name = function
+  | ALU -> "ALU"
+  | LD -> "LD"
+  | SD -> "SD"
+  | SWITCH -> "SWITCH"
+  | SEND -> "SEND"
+
+let class_effect = function
+  | ALU -> "Has no effect since there are no exceptions in the PP."
+  | LD -> "Execution of a load can cause transitions in load/store FSMs."
+  | SD -> "Execution of a store can cause transitions in load/store FSMs."
+  | SWITCH ->
+    "A switch instruction executed while the Inbox is not ready causes a \
+     pipeline stall."
+  | SEND ->
+    "A send instruction executed while the Outbox is not ready causes a \
+     pipeline stall."
+
+let all_classes = [ ALU; LD; SD; SWITCH; SEND ]
+
+let uses_dcache = function
+  | Lw _ | Sw _ -> true
+  | Alu _ | Alui _ | Beq _ | Bne _ | Send _ | Switch _ | Nop | Halt -> false
+
+(* ------------------------------------------------------------------ *)
+(* Encoding: [31:26] opcode, [25:21] A, [20:16] B, [15:11] C,         *)
+(* [15:0] imm (two's complement).                                     *)
+(* ------------------------------------------------------------------ *)
+
+let alu_code = function
+  | Add -> 0 | Sub -> 1 | And -> 2 | Or -> 3 | Xor -> 4 | Slt -> 5
+
+let alu_of_code = function
+  | 0 -> Some Add | 1 -> Some Sub | 2 -> Some And | 3 -> Some Or
+  | 4 -> Some Xor | 5 -> Some Slt | _ -> None
+
+let mask16 v = v land 0xffff
+
+let word ~op ~a ~b ?(c = 0) ?(imm = 0) () =
+  (op lsl 26) lor (a lsl 21) lor (b lsl 16) lor (c lsl 11) lor mask16 imm
+
+let encode = function
+  | Nop -> word ~op:0 ~a:0 ~b:0 ()
+  | Alu (op, rd, rs1, rs2) ->
+    word ~op:(1 + alu_code op) ~a:rd ~b:rs1 ~c:rs2 ()
+  | Alui (op, rd, rs1, imm) ->
+    word ~op:(7 + alu_code op) ~a:rd ~b:rs1 ~imm ()
+  | Lw (rd, rs, imm) -> word ~op:13 ~a:rd ~b:rs ~imm ()
+  | Sw (rs2, rs1, imm) -> word ~op:14 ~a:rs2 ~b:rs1 ~imm ()
+  | Beq (ra, rb, imm) -> word ~op:15 ~a:ra ~b:rb ~imm ()
+  | Bne (ra, rb, imm) -> word ~op:16 ~a:ra ~b:rb ~imm ()
+  | Send r -> word ~op:17 ~a:r ~b:0 ()
+  | Switch r -> word ~op:18 ~a:r ~b:0 ()
+  | Halt -> word ~op:19 ~a:0 ~b:0 ()
+
+let sign16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let decode w =
+  let op = (w lsr 26) land 0x3f in
+  let a = (w lsr 21) land 0x1f in
+  let b = (w lsr 16) land 0x1f in
+  let c = (w lsr 11) land 0x1f in
+  let imm = sign16 (w land 0xffff) in
+  match op with
+  | 0 -> Some Nop
+  | 1 | 2 | 3 | 4 | 5 | 6 ->
+    Option.map (fun o -> Alu (o, a, b, c)) (alu_of_code (op - 1))
+  | 7 | 8 | 9 | 10 | 11 | 12 ->
+    Option.map (fun o -> Alui (o, a, b, imm)) (alu_of_code (op - 7))
+  | 13 -> Some (Lw (a, b, imm))
+  | 14 -> Some (Sw (a, b, imm))
+  | 15 -> Some (Beq (a, b, imm))
+  | 16 -> Some (Bne (a, b, imm))
+  | 17 -> Some (Send a)
+  | 18 -> Some (Switch a)
+  | 19 -> Some Halt
+  | _ -> None
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Slt -> "slt"
+
+let pp ppf = function
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"
+  | Alu (op, rd, rs1, rs2) ->
+    Format.fprintf ppf "%s r%d, r%d, r%d" (alu_name op) rd rs1 rs2
+  | Alui (op, rd, rs1, imm) ->
+    Format.fprintf ppf "%si r%d, r%d, %d" (alu_name op) rd rs1 imm
+  | Lw (rd, rs, imm) -> Format.fprintf ppf "lw r%d, %d(r%d)" rd imm rs
+  | Sw (rs2, rs1, imm) -> Format.fprintf ppf "sw r%d, %d(r%d)" rs2 imm rs1
+  | Beq (ra, rb, imm) -> Format.fprintf ppf "beq r%d, r%d, %d" ra rb imm
+  | Bne (ra, rb, imm) -> Format.fprintf ppf "bne r%d, r%d, %d" ra rb imm
+  | Send r -> Format.fprintf ppf "send r%d" r
+  | Switch r -> Format.fprintf ppf "switch r%d" r
+
+let equal a b = encode a = encode b
+
+let reads = function
+  | Alu (_, _, rs1, rs2) -> List.filter (fun r -> r <> 0) [ rs1; rs2 ]
+  | Alui (_, _, rs1, _) -> List.filter (fun r -> r <> 0) [ rs1 ]
+  | Lw (_, rs, _) -> List.filter (fun r -> r <> 0) [ rs ]
+  | Sw (rs2, rs1, _) -> List.filter (fun r -> r <> 0) [ rs2; rs1 ]
+  | Beq (ra, rb, _) | Bne (ra, rb, _) ->
+    List.filter (fun r -> r <> 0) [ ra; rb ]
+  | Send r -> List.filter (fun r -> r <> 0) [ r ]
+  | Switch _ | Nop | Halt -> []
+
+let writes = function
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Lw (rd, _, _) | Switch rd ->
+    if rd = 0 then None else Some rd
+  | Sw _ | Beq _ | Bne _ | Send _ | Nop | Halt -> None
+
+let random_of_class rng cls ~addr =
+  let r () = 1 + Random.State.int rng 7 in
+  let ops = [| Add; Sub; And; Or; Xor; Slt |] in
+  match cls with
+  | ALU ->
+    (match Random.State.int rng 3 with
+     | 0 -> Alu (ops.(Random.State.int rng 6), r (), r (), r ())
+     | 1 ->
+       Alui
+         (ops.(Random.State.int rng 6), r (), r (),
+          Random.State.int rng 256)
+     | _ -> Nop)
+  | LD -> Lw (r (), 0, addr ())
+  | SD -> Sw (r (), 0, addr ())
+  | SWITCH -> Switch (r ())
+  | SEND -> Send (r ())

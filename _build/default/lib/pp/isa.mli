@@ -1,0 +1,63 @@
+(** Instruction set of the FLASH Protocol Processor model.
+
+    A DLX-derived RISC ISA extended with the MAGIC interface
+    instructions the paper describes: [send] (hands a value to the
+    Outbox, stalling while the Outbox is not ready) and [switch]
+    (receives the next task word from the Inbox, stalling while the
+    Inbox is not ready).  The PP has no virtual memory and no
+    recoverable exceptions. *)
+
+type reg = int
+(** Register number, 0..31; r0 reads as zero. *)
+
+type alu_op = Add | Sub | And | Or | Xor | Slt
+
+type t =
+  | Alu of alu_op * reg * reg * reg  (** [op rd, rs1, rs2] *)
+  | Alui of alu_op * reg * reg * int  (** [op rd, rs1, imm16] *)
+  | Lw of reg * reg * int  (** [lw rd, off(rs)] *)
+  | Sw of reg * reg * int  (** [sw rs2, off(rs1)] *)
+  | Beq of reg * reg * int  (** pc-relative word offset *)
+  | Bne of reg * reg * int
+  | Send of reg  (** push register to the Outbox *)
+  | Switch of reg  (** pop the next Inbox word into a register *)
+  | Nop
+  | Halt
+
+(** The five control-relevant instruction classes of Table 3.1.
+    Branches "only impact the control logic by causing instruction
+    cache misses, so they are included in the ALU instruction
+    class". *)
+type iclass = ALU | LD | SD | SWITCH | SEND
+
+val classify : t -> iclass
+val class_name : iclass -> string
+val class_effect : iclass -> string
+(** The "effect on control logic" column of Table 3.1. *)
+
+val all_classes : iclass list
+
+val uses_dcache : t -> bool
+(** Load or store. *)
+
+val encode : t -> int
+(** 32-bit word encoding. *)
+
+val decode : int -> t option
+(** [None] for an illegal opcode. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val reads : t -> reg list
+(** Source registers (r0 omitted). *)
+
+val writes : t -> reg option
+
+val random_of_class :
+  Random.State.t -> iclass -> addr:(unit -> int) -> t
+(** Biased-random instruction of the given class (the paper sets "the
+    parts of the vector that do not impact the control logic FSMs, for
+    example the data value and the precise operation type ...
+    randomly").  [addr] supplies load/store target addresses so the
+    caller can steer hit/miss behaviour. *)

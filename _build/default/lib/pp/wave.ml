@@ -1,0 +1,56 @@
+let cell_width = 6
+
+let pad s =
+  if String.length s >= cell_width then String.sub s 0 cell_width
+  else s ^ String.make (cell_width - String.length s) ' '
+
+let bus_row probes =
+  List.map
+    (fun (p : Rtl.probe) ->
+      match p.Rtl.p_membus with
+      | Some v -> pad (Printf.sprintf "%04x" (v land 0xffff))
+      | None -> pad "zzzz")
+    probes
+
+let level_row get probes =
+  List.map
+    (fun p -> pad (if get p then "~~~~~" else "_____"))
+    probes
+
+let header probes =
+  List.map (fun (p : Rtl.probe) -> pad (Printf.sprintf "c%d" p.Rtl.p_cycle))
+    probes
+
+let render probes =
+  let line name cells =
+    Printf.sprintf "%-14s|%s" name (String.concat "" cells)
+  in
+  let glitch_cells =
+    List.map
+      (fun (p : Rtl.probe) -> pad (if p.Rtl.p_glitch then "GLTCH" else ""))
+      probes
+  in
+  String.concat "\n"
+    [
+      line "cycle" (header probes);
+      line "Membus" (bus_row probes);
+      line "MembusValid" (level_row (fun p -> p.Rtl.p_membus_valid) probes);
+      line "glitch" glitch_cells;
+      line "ExternalStall"
+        (level_row (fun p -> p.Rtl.p_external_stall) probes);
+      line "DStall" (level_row (fun p -> p.Rtl.p_dstall) probes);
+    ]
+
+let render_window ?(before = 2) ?(after = 6) probes =
+  let arr = Array.of_list probes in
+  let first_driven =
+    let rec find i =
+      if i >= Array.length arr then 0
+      else if arr.(i).Rtl.p_membus <> None then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let lo = max 0 (first_driven - before) in
+  let hi = min (Array.length arr - 1) (first_driven + after) in
+  render (Array.to_list (Array.sub arr lo (hi - lo + 1)))

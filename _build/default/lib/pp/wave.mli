@@ -1,0 +1,11 @@
+(** ASCII timing diagrams from RTL probes, reproducing the Bug #5
+    figures (2.2: glitch masked by the rewrite; 2.3: external stall in
+    the window leaves garbage in the register file). *)
+
+val render : Rtl.probe list -> string
+(** Multi-line diagram of Membus, Membus-valid, the glitch marker and
+    the external stall wire over the probed cycles. *)
+
+val render_window : ?before:int -> ?after:int -> Rtl.probe list -> string
+(** Like {!render} but trimmed around the first cycle where the bus
+    was driven, which is where the action is. *)

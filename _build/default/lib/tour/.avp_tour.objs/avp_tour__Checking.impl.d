@@ -1,0 +1,1 @@
+lib/tour/checking.ml: Array Format List Mealy Option Printf Queue Uio

@@ -1,0 +1,1 @@
+lib/tour/checking.mli: Format Uio

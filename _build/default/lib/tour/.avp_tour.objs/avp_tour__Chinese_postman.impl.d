@@ -1,0 +1,1 @@
+lib/tour/chinese_postman.ml: Array Digraph Flow Hashtbl List Stack

@@ -1,0 +1,1 @@
+lib/tour/chinese_postman.mli: Digraph

@@ -1,0 +1,1 @@
+lib/tour/digraph.ml: Array Queue Stack

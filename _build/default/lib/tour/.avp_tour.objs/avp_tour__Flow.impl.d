@@ -1,0 +1,1 @@
+lib/tour/flow.ml: Array Queue

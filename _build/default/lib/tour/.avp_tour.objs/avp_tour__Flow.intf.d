@@ -1,0 +1,1 @@
+lib/tour/flow.mli:

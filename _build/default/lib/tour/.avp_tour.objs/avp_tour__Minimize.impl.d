@@ -1,0 +1,1 @@
+lib/tour/minimize.ml: Array Hashtbl List Mealy String Uio

@@ -1,0 +1,1 @@
+lib/tour/minimize.mli: Uio

@@ -1,0 +1,1 @@
+lib/tour/mutation.ml: Array Avp_enum Avp_fsm Checking Format Hashtbl Int List Mealy Queue Tour_gen Uio

@@ -1,0 +1,1 @@
+lib/tour/mutation.mli: Checking Format Uio

@@ -1,0 +1,1 @@
+lib/tour/tour_gen.ml: Array Avp_enum Format Hashtbl List Queue Unix

@@ -1,0 +1,1 @@
+lib/tour/tour_gen.mli: Avp_enum Format

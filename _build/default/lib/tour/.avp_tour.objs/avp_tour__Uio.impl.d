@@ -1,0 +1,1 @@
+lib/tour/uio.ml: Array Fun Hashtbl Int List Queue String

@@ -1,0 +1,1 @@
+lib/tour/uio.mli:

@@ -1,0 +1,127 @@
+type step = { src : int; dst : int; label : int }
+
+exception Not_strongly_connected
+
+(* Hierholzer's algorithm over a multigraph given as, per node, an
+   array of (dst, label, multiplicity). *)
+let hierholzer (multi : (int * int * int) array array) ~start =
+  let n = Array.length multi in
+  let remaining = Array.map (Array.map (fun (_, _, m) -> m)) multi in
+  let cursor = Array.make n 0 in
+  let total =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a (_, _, m) -> a + m) acc row)
+      0 multi
+  in
+  if total = 0 then Some []
+  else begin
+    (* Iterative Hierholzer: walk until stuck, splice cycles. *)
+    let path = Stack.create () in
+    (* Stack of (node, edge taken to reach it); edge = (src,dst,label) *)
+    Stack.push (start, None) path;
+    let circuit = ref [] in
+    let progress = ref true in
+    while !progress && not (Stack.is_empty path) do
+      let u, incoming = Stack.top path in
+      (* Find next unused edge from u. *)
+      let row = multi.(u) in
+      let k = Array.length row in
+      while cursor.(u) < k && remaining.(u).(cursor.(u)) = 0 do
+        cursor.(u) <- cursor.(u) + 1
+      done;
+      if cursor.(u) < k then begin
+        let dst, label, _ = row.(cursor.(u)) in
+        remaining.(u).(cursor.(u)) <- remaining.(u).(cursor.(u)) - 1;
+        Stack.push (dst, Some { src = u; dst; label }) path
+      end
+      else begin
+        ignore (Stack.pop path);
+        (match incoming with
+         | Some e -> circuit := e :: !circuit
+         | None -> ());
+        if Stack.is_empty path then progress := false
+      end
+    done;
+    let tour = !circuit in
+    (* Using every edge is not enough: an Eulerian *trail* also does,
+       so require the walk to return to its start. *)
+    let closed =
+      let rec go cur = function
+        | [] -> cur = start
+        | e :: rest -> e.src = cur && go e.dst rest
+      in
+      go start tour
+    in
+    if List.length tour = total && closed then Some tour else None
+  end
+
+let euler_circuit (adj : Digraph.adj) ~start =
+  let multi =
+    Array.map (Array.map (fun (dst, label) -> (dst, label, 1))) adj
+  in
+  hierholzer multi ~start
+
+let solve (adj : Digraph.adj) ~start =
+  if not (Digraph.is_strongly_connected adj) then
+    raise Not_strongly_connected;
+  let n = Array.length adj in
+  let indeg = Digraph.in_degrees adj and outdeg = Digraph.out_degrees adj in
+  (* Min-cost flow: nodes with indeg > outdeg supply flow (they need
+     extra departures), nodes with outdeg > indeg absorb it.  Each
+     unit of flow on an edge adds one extra traversal of it. *)
+  let source = n and sink = n + 1 in
+  let net = Flow.create (n + 2) in
+  let handles =
+    Array.mapi
+      (fun u out ->
+        Array.map
+          (fun (v, _) ->
+            Flow.add_edge net ~src:u ~dst:v ~cap:max_int ~cost:1)
+          out)
+      adj
+  in
+  let needed = ref 0 in
+  for v = 0 to n - 1 do
+    let b = indeg.(v) - outdeg.(v) in
+    if b > 0 then begin
+      ignore (Flow.add_edge net ~src:source ~dst:v ~cap:b ~cost:0);
+      needed := !needed + b
+    end
+    else if b < 0 then
+      ignore (Flow.add_edge net ~src:v ~dst:sink ~cap:(-b) ~cost:0)
+  done;
+  let flow, _cost = Flow.min_cost_flow net ~source ~sink in
+  if flow <> !needed then raise Not_strongly_connected;
+  let multi =
+    Array.mapi
+      (fun u out ->
+        Array.mapi
+          (fun i (v, label) -> (v, label, 1 + Flow.flow_on net handles.(u).(i)))
+          out)
+      adj
+  in
+  match hierholzer multi ~start with
+  | Some tour -> tour
+  | None -> raise Not_strongly_connected
+
+let tour_length = List.length
+
+let covers_all_edges (adj : Digraph.adj) tour =
+  let seen = Hashtbl.create 256 in
+  List.iter (fun e -> Hashtbl.replace seen (e.src, e.dst, e.label) ()) tour;
+  let ok = ref true in
+  Array.iteri
+    (fun u out ->
+      Array.iter
+        (fun (v, label) ->
+          if not (Hashtbl.mem seen (u, v, label)) then ok := false)
+        out)
+    adj;
+  !ok
+
+let is_closed_walk tour ~start =
+  let rec go cur = function
+    | [] -> cur = start
+    | e :: rest -> e.src = cur && go e.dst rest
+  in
+  go start tour

@@ -1,0 +1,27 @@
+(** Optimal transition tours via the directed Chinese Postman Problem.
+
+    The paper (Section 3.3) notes that a transition tour traversing
+    every arc at least once, minimising total length, is the Chinese
+    Postman Problem [EJ72], solvable in polynomial time for
+    strongly-connected graphs.  This solver balances in/out degrees by
+    duplicating existing edges along minimum-cost flow paths and then
+    extracts an Euler circuit of the resulting multigraph
+    (Hierholzer).  It is the optimal baseline against which the
+    paper's cheaper greedy multi-trace generator is compared. *)
+
+type step = { src : int; dst : int; label : int }
+
+exception Not_strongly_connected
+
+val euler_circuit : Digraph.adj -> start:int -> step list option
+(** Euler circuit using every edge exactly once, or [None] when the
+    graph is not Eulerian (degree-unbalanced or disconnected). *)
+
+val solve : Digraph.adj -> start:int -> step list
+(** Closed walk from [start] covering every edge at least once with
+    minimum total traversals.
+    @raise Not_strongly_connected when no tour exists. *)
+
+val tour_length : step list -> int
+val covers_all_edges : Digraph.adj -> step list -> bool
+val is_closed_walk : step list -> start:int -> bool

@@ -1,0 +1,151 @@
+type adj = (int * int) array array
+
+let num_edges adj =
+  Array.fold_left (fun acc out -> acc + Array.length out) 0 adj
+
+let reachable adj src =
+  let n = Array.length adj in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(src) <- true;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun (v, _) ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  seen
+
+let shortest_path adj ~src ~accept =
+  if accept src then Some []
+  else begin
+    let n = Array.length adj in
+    (* parent.(v) = (u, label) for the BFS tree edge u->v *)
+    let parent = Array.make n None in
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(src) <- true;
+    Queue.add src queue;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let out = adj.(u) in
+      let k = Array.length out in
+      let i = ref 0 in
+      while !found = None && !i < k do
+        let v, label = out.(!i) in
+        incr i;
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- Some (u, label);
+          if accept v then found := Some v else Queue.add v queue
+        end
+      done
+    done;
+    match !found with
+    | None -> None
+    | Some v ->
+      let rec build v acc =
+        match parent.(v) with
+        | None -> acc
+        | Some (u, label) -> build u ((u, v, label) :: acc)
+      in
+      Some (build v [])
+  end
+
+(* Iterative Tarjan SCC. *)
+let sccs adj =
+  let n = Array.length adj in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* Explicit DFS stack: (node, next successor position). *)
+  let work = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      Stack.push (root, ref 0) work;
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      Stack.push root stack;
+      on_stack.(root) <- true;
+      while not (Stack.is_empty work) do
+        let u, pos = Stack.top work in
+        if !pos < Array.length adj.(u) then begin
+          let v, _ = adj.(u).(!pos) in
+          incr pos;
+          if index.(v) < 0 then begin
+            index.(v) <- !next_index;
+            lowlink.(v) <- !next_index;
+            incr next_index;
+            Stack.push v stack;
+            on_stack.(v) <- true;
+            Stack.push (v, ref 0) work
+          end
+          else if on_stack.(v) then
+            lowlink.(u) <- min lowlink.(u) index.(v)
+        end
+        else begin
+          ignore (Stack.pop work);
+          (match Stack.top_opt work with
+           | Some (p, _) -> lowlink.(p) <- min lowlink.(p) lowlink.(u)
+           | None -> ());
+          if lowlink.(u) = index.(u) then begin
+            let rec pop () =
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              comp.(w) <- !next_comp;
+              if w <> u then pop ()
+            in
+            pop ();
+            incr next_comp
+          end
+        end
+      done
+    end
+  done;
+  comp
+
+let is_strongly_connected adj =
+  let n = Array.length adj in
+  n > 0
+  &&
+  let comp = sccs adj in
+  Array.for_all (fun c -> c = comp.(0)) comp
+
+let transpose adj =
+  let n = Array.length adj in
+  let counts = Array.make n 0 in
+  Array.iter
+    (fun out -> Array.iter (fun (v, _) -> counts.(v) <- counts.(v) + 1) out)
+    adj;
+  let rev = Array.init n (fun v -> Array.make counts.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun u out ->
+      Array.iter
+        (fun (v, label) ->
+          rev.(v).(fill.(v)) <- (u, label);
+          fill.(v) <- fill.(v) + 1)
+        out)
+    adj;
+  rev
+
+let in_degrees adj =
+  let n = Array.length adj in
+  let d = Array.make n 0 in
+  Array.iter
+    (fun out -> Array.iter (fun (v, _) -> d.(v) <- d.(v) + 1) out)
+    adj;
+  d
+
+let out_degrees adj = Array.map Array.length adj

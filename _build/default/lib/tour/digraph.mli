@@ -1,0 +1,29 @@
+(** Compact directed-graph utilities over adjacency arrays.
+
+    The representation matches {!Avp_enum.State_graph.adj}: node [s]'s
+    successors are [(dst, label)] pairs.  Labels are opaque here. *)
+
+type adj = (int * int) array array
+
+val num_edges : adj -> int
+
+val reachable : adj -> int -> bool array
+(** Nodes reachable from the given source. *)
+
+val shortest_path : adj -> src:int -> accept:(int -> bool) ->
+  (int * int * int) list option
+(** BFS; returns the edge list [(src, dst, label)] of a shortest path
+    from [src] to the nearest node satisfying [accept], or [None].  An
+    accepted [src] yields the empty path. *)
+
+val sccs : adj -> int array
+(** Tarjan strongly-connected components: node -> component id,
+    components numbered in reverse topological order. *)
+
+val is_strongly_connected : adj -> bool
+(** True for a non-empty graph with a single SCC. *)
+
+val transpose : adj -> adj
+
+val in_degrees : adj -> int array
+val out_degrees : adj -> int array

@@ -1,0 +1,120 @@
+(* Edge-list adjacency with paired residual arcs: arc i and i lxor 1
+   are mutual residuals. *)
+type t = {
+  n : int;
+  mutable heads : int array;  (* node -> first arc index or -1 *)
+  mutable nexts : int array;  (* arc -> next arc of same node *)
+  mutable dsts : int array;
+  mutable caps : int array;
+  mutable costs : int array;
+  mutable m : int;  (* arcs used *)
+}
+
+let create n =
+  {
+    n;
+    heads = Array.make n (-1);
+    nexts = Array.make 16 (-1);
+    dsts = Array.make 16 0;
+    caps = Array.make 16 0;
+    costs = Array.make 16 0;
+    m = 0;
+  }
+
+let ensure t needed =
+  let cur = Array.length t.dsts in
+  if needed > cur then begin
+    let size = max needed (2 * cur) in
+    let grow a fill =
+      let b = Array.make size fill in
+      Array.blit a 0 b 0 cur;
+      b
+    in
+    t.nexts <- grow t.nexts (-1);
+    t.dsts <- grow t.dsts 0;
+    t.caps <- grow t.caps 0;
+    t.costs <- grow t.costs 0
+  end
+
+let add_arc t src dst cap cost =
+  ensure t (t.m + 1);
+  let i = t.m in
+  t.m <- i + 1;
+  t.dsts.(i) <- dst;
+  t.caps.(i) <- cap;
+  t.costs.(i) <- cost;
+  t.nexts.(i) <- t.heads.(src);
+  t.heads.(src) <- i;
+  i
+
+let add_edge t ~src ~dst ~cap ~cost =
+  let fwd = add_arc t src dst cap cost in
+  let _bwd = add_arc t dst src 0 (-cost) in
+  fwd
+
+let infinity_cost = max_int / 4
+
+(* Bellman-Ford (queue-based SPFA variant) from [source]; returns
+   distance and predecessor-arc arrays. *)
+let bellman_ford t source =
+  let dist = Array.make t.n infinity_cost in
+  let pred = Array.make t.n (-1) in
+  let in_queue = Array.make t.n false in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  in_queue.(source) <- true;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    in_queue.(u) <- false;
+    let arc = ref t.heads.(u) in
+    while !arc >= 0 do
+      let i = !arc in
+      arc := t.nexts.(i);
+      if t.caps.(i) > 0 then begin
+        let v = t.dsts.(i) in
+        let nd = dist.(u) + t.costs.(i) in
+        if nd < dist.(v) then begin
+          dist.(v) <- nd;
+          pred.(v) <- i;
+          if not in_queue.(v) then begin
+            Queue.add v queue;
+            in_queue.(v) <- true
+          end
+        end
+      end
+    done
+  done;
+  (dist, pred)
+
+let min_cost_flow t ~source ~sink =
+  let total_flow = ref 0 in
+  let total_cost = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let dist, pred = bellman_ford t source in
+    if dist.(sink) >= infinity_cost then continue_ := false
+    else begin
+      (* Bottleneck along the path. *)
+      let bottleneck = ref max_int in
+      let v = ref sink in
+      while !v <> source do
+        let i = pred.(!v) in
+        bottleneck := min !bottleneck t.caps.(i);
+        v := t.dsts.(i lxor 1)
+      done;
+      let f = !bottleneck in
+      let v = ref sink in
+      while !v <> source do
+        let i = pred.(!v) in
+        t.caps.(i) <- t.caps.(i) - f;
+        t.caps.(i lxor 1) <- t.caps.(i lxor 1) + f;
+        v := t.dsts.(i lxor 1)
+      done;
+      total_flow := !total_flow + f;
+      total_cost := !total_cost + (f * dist.(sink))
+    end
+  done;
+  (!total_flow, !total_cost)
+
+let flow_on t handle = t.caps.(handle lxor 1)

@@ -1,0 +1,18 @@
+(** Minimum-cost maximum flow by successive shortest paths with
+    Bellman-Ford path search (handles the negative residual costs that
+    arise after augmentation).  Used by the directed Chinese-Postman
+    solver to balance node degrees at minimum extra traversal cost. *)
+
+type t
+
+val create : int -> t
+(** A network with the given number of nodes. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> cost:int -> int
+(** Returns an edge handle usable with {!flow_on}. *)
+
+val min_cost_flow : t -> source:int -> sink:int -> int * int
+(** Pushes as much flow as possible; returns [(flow, total_cost)]. *)
+
+val flow_on : t -> int -> int
+(** Flow routed through an edge handle after {!min_cost_flow}. *)

@@ -1,0 +1,86 @@
+open Uio
+
+(* Partition refinement: start with states split by their immediate
+   output rows, then refine by successor classes until stable. *)
+let equivalence_classes (m : Mealy.t) =
+  let n = m.Mealy.states in
+  let cls = Array.make n 0 in
+  (* Initial partition by output signature. *)
+  let sig0 = Hashtbl.create 16 in
+  let next_id = ref 0 in
+  for s = 0 to n - 1 do
+    let key =
+      String.concat ","
+        (List.init m.Mealy.inputs (fun i -> string_of_int (m.Mealy.output s i)))
+    in
+    match Hashtbl.find_opt sig0 key with
+    | Some id -> cls.(s) <- id
+    | None ->
+      Hashtbl.replace sig0 key !next_id;
+      cls.(s) <- !next_id;
+      incr next_id
+  done;
+  (* Refine until fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let sig_t = Hashtbl.create 16 in
+    let fresh = ref 0 in
+    let next_cls = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let key =
+        string_of_int cls.(s)
+        ^ "|"
+        ^ String.concat ","
+            (List.init m.Mealy.inputs (fun i ->
+                 string_of_int cls.(m.Mealy.next s i)))
+      in
+      match Hashtbl.find_opt sig_t key with
+      | Some id -> next_cls.(s) <- id
+      | None ->
+        Hashtbl.replace sig_t key !fresh;
+        next_cls.(s) <- !fresh;
+        incr fresh
+    done;
+    if next_cls <> cls then begin
+      Array.blit next_cls 0 cls 0 n;
+      changed := true
+    end
+  done;
+  (* Renumber by first occurrence for stability. *)
+  let renumber = Hashtbl.create 16 in
+  let fresh = ref 0 in
+  Array.map
+    (fun c ->
+      match Hashtbl.find_opt renumber c with
+      | Some id -> id
+      | None ->
+        let id = !fresh in
+        Hashtbl.replace renumber c id;
+        incr fresh;
+        id)
+    cls
+
+let minimize (m : Mealy.t) =
+  let cls = equivalence_classes m in
+  let k = 1 + Array.fold_left max 0 cls in
+  (* Representative state per class. *)
+  let rep = Array.make k (-1) in
+  Array.iteri (fun s c -> if rep.(c) < 0 then rep.(c) <- s) cls;
+  let quotient =
+    {
+      Mealy.states = k;
+      inputs = m.Mealy.inputs;
+      next = (fun c i -> cls.(m.Mealy.next rep.(c) i));
+      output = (fun c i -> m.Mealy.output rep.(c) i);
+    }
+  in
+  (quotient, cls)
+
+let is_minimal m =
+  let cls = equivalence_classes m in
+  1 + Array.fold_left max 0 cls = m.Mealy.states
+
+let equivalent m a b =
+  let cls = equivalence_classes m in
+  cls.(a) = cls.(b)

@@ -1,0 +1,20 @@
+(** Mealy machine minimization (Hopcroft-style partition refinement).
+
+    Conformance-testing algorithms assume a {e minimal} specification
+    machine — states that produce identical output behaviour for every
+    input word cannot be distinguished by any test, so UIO sequences
+    exist only on the minimized machine. *)
+
+val equivalence_classes : Uio.Mealy.t -> int array
+(** [classes.(s)] is the index of the behavioural equivalence class of
+    state [s]; classes are numbered by first occurrence. *)
+
+val minimize : Uio.Mealy.t -> Uio.Mealy.t * int array
+(** The quotient machine (state 0 is the class of state 0) and the
+    state-to-class map. *)
+
+val is_minimal : Uio.Mealy.t -> bool
+(** No two distinct states are behaviourally equivalent. *)
+
+val equivalent : Uio.Mealy.t -> int -> int -> bool
+(** The two states produce the same outputs on every input word. *)

@@ -1,0 +1,200 @@
+type step = { src : int; dst : int; choice : int; fresh : bool }
+type trace = step array
+
+type stats = {
+  num_traces : int;
+  edge_traversals : int;
+  instructions : int;
+  longest_trace_edges : int;
+  longest_trace_instructions : int;
+  traces_hitting_limit : int;
+  gen_time_s : float;
+}
+
+type t = { traces : trace array; stats : stats }
+
+let generate ?instr_limit ?(instructions_of_edge = fun ~src:_ ~choice:_ -> 1)
+    (graph : Avp_enum.State_graph.t) =
+  let t0 = Unix.gettimeofday () in
+  let adj = graph.Avp_enum.State_graph.adj in
+  let n = Array.length adj in
+  let offsets = Avp_enum.State_graph.edge_offsets graph in
+  let total_edges = offsets.(n) in
+  let traversed = Array.make total_edges false in
+  let untraversed_left = ref total_edges in
+  (* Per-state: count of untraversed out-edges and a monotone cursor
+     to the first possibly-untraversed position. *)
+  let untraversed_count = Array.map Array.length adj in
+  let cursor = Array.make n 0 in
+  (* Reusable epoch-stamped BFS state for the explore phase: parent
+     pointers record the (node, out-position) the BFS arrived from, so
+     no per-call allocation and no edge-position lookup afterwards. *)
+  let stamp = Array.make n 0 in
+  let epoch = ref 0 in
+  let parent_node = Array.make n (-1) in
+  let parent_pos = Array.make n (-1) in
+  let bfs_queue = Queue.create () in
+  (* Shortest path (as (node, position) pairs, in order) from [src] to
+     the nearest node with an untraversed out-edge; [] when none. *)
+  let explore_path src =
+    incr epoch;
+    let e = !epoch in
+    Queue.clear bfs_queue;
+    stamp.(src) <- e;
+    Queue.add src bfs_queue;
+    let found = ref (-1) in
+    while !found < 0 && not (Queue.is_empty bfs_queue) do
+      let u = Queue.pop bfs_queue in
+      let out = adj.(u) in
+      let k = Array.length out in
+      let i = ref 0 in
+      while !found < 0 && !i < k do
+        let v, _ = out.(!i) in
+        if stamp.(v) <> e then begin
+          stamp.(v) <- e;
+          parent_node.(v) <- u;
+          parent_pos.(v) <- !i;
+          if untraversed_count.(v) > 0 then found := v
+          else Queue.add v bfs_queue
+        end;
+        incr i
+      done
+    done;
+    if !found < 0 then []
+    else begin
+      let rec build v acc =
+        if v = src then acc
+        else build parent_node.(v) ((parent_node.(v), parent_pos.(v)) :: acc)
+      in
+      build !found []
+    end
+  in
+  let traces = ref [] in
+  let num_traces = ref 0 in
+  let edge_traversals = ref 0 in
+  let instructions = ref 0 in
+  let longest_edges = ref 0 in
+  let longest_instr = ref 0 in
+  let limit_hits = ref 0 in
+  let reset = 0 in
+  while !untraversed_left > 0 do
+    (* One trace, starting from reset. *)
+    let steps = ref [] in
+    let steps_len = ref 0 in
+    let trace_instr = ref 0 in
+    let fresh_in_trace = ref 0 in
+    let state = ref reset in
+    let take ~fresh (src, pos) =
+      let dst, choice = adj.(src).(pos) in
+      if fresh then begin
+        traversed.(offsets.(src) + pos) <- true;
+        untraversed_count.(src) <- untraversed_count.(src) - 1;
+        decr untraversed_left;
+        incr fresh_in_trace
+      end;
+      steps := { src; dst; choice; fresh } :: !steps;
+      incr steps_len;
+      let w = instructions_of_edge ~src ~choice in
+      trace_instr := !trace_instr + w;
+      state := dst
+    in
+    let over_limit () =
+      (* The limit never closes a trace before it has covered at
+         least one fresh edge; otherwise short limits could loop
+         forever re-walking the same prefix. *)
+      match instr_limit with
+      | Some l when !trace_instr >= l && !fresh_in_trace > 0 -> true
+      | Some _ | None -> false
+    in
+    let continue_trace = ref true in
+    while !continue_trace do
+      (* Depth-first phase: follow untraversed edges greedily. *)
+      while untraversed_count.(!state) > 0 && not (over_limit ()) do
+        let s = !state in
+        while traversed.(offsets.(s) + cursor.(s)) do
+          cursor.(s) <- cursor.(s) + 1
+        done;
+        take ~fresh:true (s, cursor.(s))
+      done;
+      if over_limit () then begin
+        incr limit_hits;
+        continue_trace := false
+      end
+      else begin
+        (* Explore phase: shortest path to the nearest state that
+           still has an untraversed out-edge.  By minimality every
+           edge of the path is already traversed. *)
+        match explore_path !state with
+        | [] -> continue_trace := false
+        | path -> List.iter (take ~fresh:false) path
+      end
+    done;
+    if !steps_len > 0 then begin
+      let arr = Array.of_list (List.rev !steps) in
+      traces := arr :: !traces;
+      incr num_traces;
+      edge_traversals := !edge_traversals + !steps_len;
+      instructions := !instructions + !trace_instr;
+      if !steps_len > !longest_edges then longest_edges := !steps_len;
+      if !trace_instr > !longest_instr then longest_instr := !trace_instr
+    end
+    else
+      (* A trace with no steps means reset itself has no reachable
+         untraversed edge, yet some remain: impossible for graphs
+         enumerated from reset, but guard against a malformed input. *)
+      untraversed_left := 0
+  done;
+  let stats =
+    {
+      num_traces = !num_traces;
+      edge_traversals = !edge_traversals;
+      instructions = !instructions;
+      longest_trace_edges = !longest_edges;
+      longest_trace_instructions = !longest_instr;
+      traces_hitting_limit = !limit_hits;
+      gen_time_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  { traces = Array.of_list (List.rev !traces); stats }
+
+let covers_all_edges (graph : Avp_enum.State_graph.t) t =
+  let adj = graph.Avp_enum.State_graph.adj in
+  let seen = Hashtbl.create 1024 in
+  Array.iter
+    (fun trace ->
+      Array.iter
+        (fun s -> Hashtbl.replace seen (s.src, s.dst, s.choice) ())
+        trace)
+    t.traces;
+  let ok = ref true in
+  Array.iteri
+    (fun src out ->
+      Array.iter
+        (fun (dst, choice) ->
+          if not (Hashtbl.mem seen (src, dst, choice)) then ok := false)
+        out)
+    adj;
+  !ok
+
+let is_valid (graph : Avp_enum.State_graph.t) t =
+  let adj = graph.Avp_enum.State_graph.adj in
+  Array.for_all
+    (fun trace ->
+      let cur = ref 0 in
+      Array.for_all
+        (fun s ->
+          s.src = !cur
+          && Array.exists (fun (d, c) -> d = s.dst && c = s.choice) adj.(s.src)
+          && begin
+               cur := s.dst;
+               true
+             end)
+        trace)
+    t.traces
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "traces=%d traversals=%d instructions=%d longest=%d edges \
+     (%d instr) limit-hits=%d time=%.2fs"
+    s.num_traces s.edge_traversals s.instructions s.longest_trace_edges
+    s.longest_trace_instructions s.traces_hitting_limit s.gen_time_s

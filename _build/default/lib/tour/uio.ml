@@ -1,0 +1,80 @@
+module Mealy = struct
+  type t = {
+    states : int;
+    inputs : int;
+    next : int -> int -> int;
+    output : int -> int -> int;
+  }
+
+  let output_trace t state word =
+    let rec go s acc = function
+      | [] -> List.rev acc
+      | i :: rest -> go (t.next s i) (t.output s i :: acc) rest
+    in
+    go state [] word
+end
+
+let is_uio (m : Mealy.t) ~state word =
+  word <> []
+  &&
+  let sig_s = Mealy.output_trace m state word in
+  let rec others t =
+    t >= m.Mealy.states
+    || ((t = state || Mealy.output_trace m t word <> sig_s) && others (t + 1))
+  in
+  others 0
+
+(* BFS over (current image of the target state, set of states still
+   producing the same outputs).  A configuration where the set is
+   empty means the accumulated word separates the target from every
+   other state. *)
+let uio (m : Mealy.t) ~state ~max_len =
+  let key (s, set) =
+    string_of_int s ^ ":" ^ String.concat "," (List.map string_of_int set)
+  in
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let initial_set =
+    List.filter (fun t -> t <> state) (List.init m.Mealy.states Fun.id)
+  in
+  let start = (state, initial_set) in
+  Hashtbl.replace seen (key start) ();
+  Queue.add (start, []) queue;
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let (s, set), word_rev = Queue.pop queue in
+    if List.length word_rev < max_len then
+      for i = 0 to m.Mealy.inputs - 1 do
+        if !result = None then begin
+          let o = m.Mealy.output s i in
+          let s' = m.Mealy.next s i in
+          let set' =
+            List.sort_uniq Int.compare
+              (List.filter_map
+                 (fun t ->
+                   if m.Mealy.output t i = o then Some (m.Mealy.next t i)
+                   else None)
+                 set)
+          in
+          let word_rev' = i :: word_rev in
+          if set' = [] then result := Some (List.rev word_rev')
+          else begin
+            (* A successor equal to s' that came from another state
+               can never be separated again; such configurations still
+               explore, they just cannot succeed through that state. *)
+            if List.mem s' set' then ()
+            else begin
+              let k = key (s', set') in
+              if not (Hashtbl.mem seen k) then begin
+                Hashtbl.replace seen k ();
+                Queue.add ((s', set'), word_rev') queue
+              end
+            end
+          end
+        end
+      done
+  done;
+  !result
+
+let all_uios m ~max_len =
+  Array.init m.Mealy.states (fun s -> uio m ~state:s ~max_len)

@@ -1,0 +1,30 @@
+(** Unique Input/Output sequences for deterministic Mealy machines.
+
+    Protocol conformance testing (the field the paper's Section 5
+    relates transition tours to, via [ADL+91]) verifies which state an
+    implementation reached by applying a UIO sequence: an input string
+    whose output signature from the target state differs from its
+    signature from every other state.  Combining a transition tour
+    with per-state UIOs yields the classic checking experiments built
+    on Rural Chinese Postman tours. *)
+
+module Mealy : sig
+  type t = {
+    states : int;
+    inputs : int;
+    next : int -> int -> int;  (** state -> input -> state *)
+    output : int -> int -> int;  (** state -> input -> output *)
+  }
+
+  val output_trace : t -> int -> int list -> int list
+  (** Outputs produced applying the input word from the state. *)
+end
+
+val uio : Mealy.t -> state:int -> max_len:int -> int list option
+(** Shortest UIO sequence for the state, up to [max_len] inputs;
+    [None] when none exists within the bound. *)
+
+val all_uios : Mealy.t -> max_len:int -> int list option array
+
+val is_uio : Mealy.t -> state:int -> int list -> bool
+(** Check the defining property directly. *)

@@ -1,0 +1,1 @@
+lib/vectors/condition_map.ml: Array Avp_fsm Avp_hdl Avp_logic Avp_tour Hashtbl List Model Translate Vector

@@ -1,0 +1,1 @@
+lib/vectors/condition_map.mli: Avp_fsm Avp_hdl Avp_tour Model Translate Vector

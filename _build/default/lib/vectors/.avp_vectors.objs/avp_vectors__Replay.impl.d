@@ -1,0 +1,1 @@
+lib/vectors/replay.ml: Array Avp_enum Avp_fsm Avp_hdl Avp_tour Condition_map Format Option Translate

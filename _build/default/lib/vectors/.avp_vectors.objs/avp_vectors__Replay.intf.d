@@ -1,0 +1,1 @@
+lib/vectors/replay.mli: Avp_enum Avp_fsm Avp_hdl Avp_tour Format

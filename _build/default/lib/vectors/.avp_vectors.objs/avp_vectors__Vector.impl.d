@@ -1,0 +1,1 @@
+lib/vectors/vector.ml: Array Avp_logic Format List Printf String

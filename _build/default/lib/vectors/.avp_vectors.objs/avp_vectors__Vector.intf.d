@@ -1,0 +1,1 @@
+lib/vectors/vector.mli: Avp_logic Format

@@ -1,0 +1,51 @@
+open Avp_fsm
+
+type t = Model.var -> int -> Vector.action list
+
+let of_translation (r : Translate.result) : t =
+  (* Choice variables are named after their nets; value index k is the
+     k-th domain value, i.e. the bit pattern k. *)
+  let widths = Hashtbl.create 8 in
+  Array.iter
+    (fun (b : Translate.binding) ->
+      Hashtbl.replace widths b.Translate.var.Model.name
+        b.Translate.net.Avp_hdl.Elab.width)
+    r.Translate.choice_bindings;
+  fun var value ->
+    match Hashtbl.find_opt widths var.Model.name with
+    | Some width ->
+      [ Vector.Force (var.Model.name, Avp_logic.Bv.of_int ~width value) ]
+    | None -> []
+
+let custom f = f
+
+let vectors_of_trace (map : t) (model : Model.t)
+    (trace : Avp_tour.Tour_gen.trace) : Vector.t =
+  Array.map
+    (fun (s : Avp_tour.Tour_gen.step) ->
+      let choices = Model.choice_of_index model s.Avp_tour.Tour_gen.choice in
+      let actions =
+        Array.to_list model.Model.choice_vars
+        |> List.mapi (fun i var -> map var choices.(i))
+        |> List.concat
+      in
+      { Vector.actions })
+    trace
+
+let apply (vectors : Vector.t) sim ~clock ~reset ~on_cycle =
+  let one = Avp_logic.Bv.of_int ~width:1 1 in
+  let zero = Avp_logic.Bv.of_int ~width:1 0 in
+  Avp_hdl.Sim.set sim reset one;
+  Avp_hdl.Sim.step sim clock;
+  Avp_hdl.Sim.set sim reset zero;
+  Array.iteri
+    (fun i { Vector.actions } ->
+      List.iter
+        (fun a ->
+          match a with
+          | Vector.Force (sig_, v) -> Avp_hdl.Sim.force sim sig_ v
+          | Vector.Release sig_ -> Avp_hdl.Sim.release sim sig_)
+        actions;
+      Avp_hdl.Sim.step sim clock;
+      on_cycle i)
+    vectors

@@ -1,0 +1,27 @@
+(** Transition condition mapping.
+
+    "The correspondence between interface signals in the FSM model and
+    actual wires in the simulation is made in the transition condition
+    mapping": every choice-variable value on a tour edge becomes the
+    force commands that pin the corresponding simulator wire. *)
+
+open Avp_fsm
+
+type t
+
+val of_translation : Translate.result -> t
+(** The natural mapping for a model produced by {!Translate}: choice
+    variable [v] with value [k] forces the identically-named net to
+    the [k]-th value of its domain. *)
+
+val custom : (Model.var -> int -> Vector.action list) -> t
+
+val vectors_of_trace :
+  t -> Model.t -> Avp_tour.Tour_gen.trace -> Vector.t
+(** One vector per tour edge, from the edge's recorded condition. *)
+
+val apply :
+  Vector.t -> Avp_hdl.Sim.t -> clock:string -> reset:string ->
+  on_cycle:(int -> unit) -> unit
+(** Resets the design, then plays the vectors cycle by cycle,
+    invoking [on_cycle] after each clock edge (for checking). *)

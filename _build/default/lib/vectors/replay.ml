@@ -1,0 +1,62 @@
+open Avp_fsm
+
+type stats = {
+  traces : int;
+  cycles : int;
+}
+
+type mismatch = {
+  trace : int;
+  cycle : int;
+  net : string;
+  actual : int;
+  predicted : int;
+}
+
+let pp_mismatch ppf m =
+  Format.fprintf ppf
+    "trace %d cycle %d: %s = %d but the tour predicted %d" m.trace m.cycle
+    m.net m.actual m.predicted
+
+exception Found of mismatch
+
+let check ?dut (tr : Translate.result) (graph : Avp_enum.State_graph.t)
+    (tours : Avp_tour.Tour_gen.t) =
+  let map = Condition_map.of_translation tr in
+  let model = tr.Translate.model in
+  let design = Option.value ~default:tr.Translate.elab dut in
+  let cycles = ref 0 in
+  try
+    Array.iteri
+      (fun ti trace ->
+        let vectors = Condition_map.vectors_of_trace map model trace in
+        let sim = Avp_hdl.Sim.create design in
+        Condition_map.apply vectors sim ~clock:tr.Translate.clock
+          ~reset:tr.Translate.reset ~on_cycle:(fun i ->
+            incr cycles;
+            Array.iteri
+              (fun vi (b : Translate.binding) ->
+                let predicted =
+                  graph.Avp_enum.State_graph.states.(trace.(i)
+                                                       .Avp_tour.Tour_gen.dst)
+                    .(vi)
+                in
+                let actual =
+                  Translate.value_of_bv
+                    (Avp_hdl.Sim.get sim b.Translate.net.Avp_hdl.Elab.name)
+                in
+                if actual <> predicted then
+                  raise
+                    (Found
+                       {
+                         trace = ti;
+                         cycle = i;
+                         net = b.Translate.net.Avp_hdl.Elab.name;
+                         actual;
+                         predicted;
+                       }))
+              tr.Translate.state_bindings))
+      tours.Avp_tour.Tour_gen.traces;
+    Ok { traces = Array.length tours.Avp_tour.Tour_gen.traces;
+         cycles = !cycles }
+  with Found m -> Error m

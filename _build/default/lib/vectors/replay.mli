@@ -1,0 +1,37 @@
+(** Replay generated vectors against the HDL design, checking that
+    the hardware takes exactly the transitions the tour predicts —
+    the closed-loop form of step 4 for translated designs, where the
+    simulator's state nets can be compared against the enumerated
+    graph cycle by cycle. *)
+
+type stats = {
+  traces : int;
+  cycles : int;  (** total cycles replayed *)
+}
+
+type mismatch = {
+  trace : int;
+  cycle : int;
+  net : string;
+  actual : int;
+  predicted : int;
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val check :
+  ?dut:Avp_hdl.Elab.t ->
+  Avp_fsm.Translate.result ->
+  Avp_enum.State_graph.t ->
+  Avp_tour.Tour_gen.t ->
+  (stats, mismatch) result
+(** Builds a fresh simulator per trace, applies the force/release
+    vectors, and compares every annotated state net against the tour's
+    predicted valuation after each clock edge.  Returns the first
+    mismatch, if any.
+
+    [?dut] substitutes a different elaborated design as the device
+    under test (it must declare the same annotated nets): vectors
+    generated from the specification's model then validate a modified
+    implementation — the step-4 comparison at the HDL level.  Any
+    divergence from the predicted state sequence is a caught bug. *)

@@ -1,0 +1,45 @@
+type action =
+  | Force of string * Avp_logic.Bv.t
+  | Release of string
+
+type cycle = { actions : action list }
+type t = cycle array
+
+let pp_action ppf = function
+  | Force (sig_, v) ->
+    Format.fprintf ppf "force %s = %s" sig_ (Avp_logic.Bv.to_string v)
+  | Release sig_ -> Format.fprintf ppf "release %s" sig_
+
+let pp ppf (t : t) =
+  Array.iteri
+    (fun i c ->
+      Format.fprintf ppf "# cycle %d@." i;
+      List.iter (fun a -> Format.fprintf ppf "%a@." pp_action a) c.actions;
+      Format.fprintf ppf "step@.")
+    t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let cycles = ref [] in
+  let current = ref [] in
+  let fail line = failwith (Printf.sprintf "Vector.of_string: bad line %S" line)
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else if line = "step" then begin
+        cycles := { actions = List.rev !current } :: !cycles;
+        current := []
+      end
+      else
+        match String.split_on_char ' ' line with
+        | [ "force"; sig_; "="; v ] ->
+          current := Force (sig_, Avp_logic.Bv.of_string v) :: !current
+        | [ "release"; sig_ ] -> current := Release sig_ :: !current
+        | _ -> fail line)
+    lines;
+  if !current <> [] then cycles := { actions = List.rev !current } :: !cycles;
+  Array.of_list (List.rev !cycles)

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Avp_enum Avp_errata Avp_fsm Avp_pp Avp_tour Control_hdl Control_model Errata Int Isa List Model Rtl State_graph String Wave

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Avp_core Avp_enum Avp_hdl Avp_vectors Flow Format Str_replace String

@@ -1,0 +1,1 @@
+test/test_enum.ml: Alcotest Array Avp_enum Avp_fsm Avp_hdl Elab Model Parser QCheck QCheck_alcotest State_graph Translate

@@ -1,0 +1,1 @@
+test/test_expr_fuzz.ml: Ast Avp_hdl Avp_logic Bit Bv Elab Format Lexer List Parser QCheck QCheck_alcotest Sim

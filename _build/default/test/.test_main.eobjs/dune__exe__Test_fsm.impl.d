@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Avp_fsm Avp_hdl Avp_logic Bv Elab Gen Latch List Model Murphi Parser QCheck QCheck_alcotest Sim String Translate

@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Array Ast Avp_hdl Avp_logic Bv Elab Format Lexer List Parser QCheck QCheck_alcotest Sim

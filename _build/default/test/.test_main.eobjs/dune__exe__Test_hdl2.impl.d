@@ -1,0 +1,1 @@
+test/test_hdl2.ml: Alcotest Ast Avp_hdl Avp_logic Bv Elab List Parser QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_hdl_mutation.ml: Alcotest Avp_enum Avp_fsm Avp_hdl Avp_pp Avp_tour Avp_vectors Control_hdl Lazy State_graph String Tour_gen Translate

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Avp_logic Bit Bv Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_control Test_core Test_enum Test_expr_fuzz Test_ext Test_fsm Test_harness Test_hdl Test_hdl2 Test_hdl_mutation Test_logic Test_pp Test_pp2 Test_sml Test_tour

@@ -1,0 +1,1 @@
+test/test_pp.ml: Alcotest Array Avp_harness Avp_pp Bugs Compare Isa List QCheck QCheck_alcotest Random Rtl Spec

@@ -1,0 +1,1 @@
+test/test_pp2.ml: Alcotest Array Asm Avp_harness Avp_pp Compare Isa List QCheck QCheck_alcotest Random Rtl Spec

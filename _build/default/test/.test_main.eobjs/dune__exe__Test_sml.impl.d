@@ -1,0 +1,1 @@
+test/test_sml.ml: Alcotest Array Avp_enum Avp_fsm Avp_hdl Avp_tour Model Sml State_graph String Translate

@@ -1,0 +1,1 @@
+test/test_tour.ml: Alcotest Array Avp_enum Avp_fsm Avp_tour Checking Chinese_postman Digraph Flow Fun List Minimize Model Mutation Printf QCheck QCheck_alcotest Random State_graph Tour_gen Uio

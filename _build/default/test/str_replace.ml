@@ -1,0 +1,12 @@
+(* Minimal literal substring replacement shared by tests. *)
+let replace src needle replacement =
+  let nl = String.length needle in
+  let rec go i =
+    if i + nl > String.length src then
+      failwith (Printf.sprintf "needle %S not found" needle)
+    else if String.sub src i nl = needle then
+      String.sub src 0 i ^ replacement
+      ^ String.sub src (i + nl) (String.length src - i - nl)
+    else go (i + 1)
+  in
+  go 0

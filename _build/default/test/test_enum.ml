@@ -1,0 +1,169 @@
+open Avp_fsm
+open Avp_enum
+open Avp_hdl
+
+(* Handshake FSM as a hand-built model: 3 reachable states. *)
+let handshake_model () =
+  let b = Model.Builder.create "handshake" in
+  let st = Model.Builder.state b "state" [| "idle"; "req"; "ack" |] in
+  let req = Model.Builder.choice_bool b "req" in
+  Model.Builder.build b ~step:(fun ctx ->
+      let open Model.Builder in
+      match get ctx st with
+      | 0 -> if chosen ctx req = 1 then set ctx st 1
+      | 1 -> set ctx st 2
+      | 2 -> if chosen ctx req = 0 then set ctx st 0
+      | _ -> assert false)
+
+let test_enumerate_handshake () =
+  let g = State_graph.enumerate (handshake_model ()) in
+  Alcotest.(check int) "states" 3 (State_graph.num_states g);
+  (* idle: ->idle, ->req; req: ->ack (one recorded); ack: ->idle,
+     ->ack *)
+  Alcotest.(check int) "edges (first condition)" 5 (State_graph.num_edges g);
+  Alcotest.(check int) "reset is state 0" 0 (State_graph.reset_id g)
+
+let test_enumerate_all_conditions () =
+  let g = State_graph.enumerate ~all_conditions:true (handshake_model ()) in
+  Alcotest.(check int) "states unchanged" 3 (State_graph.num_states g);
+  Alcotest.(check int) "edges include parallel conditions" 6
+    (State_graph.num_edges g);
+  Alcotest.(check bool) "deterministic image" true
+    (State_graph.is_deterministic_image g)
+
+let test_interlock_prunes_product () =
+  (* The mutual stalling of FSMs prevents the exponential explosion
+     (paper, Section 3.2): the requester cannot be in 'wait' while the
+     server is busy serving it, etc. *)
+  let b = Model.Builder.create "interlock" in
+  let a = Model.Builder.state b "a" [| "idle"; "go"; "done" |] in
+  let c = Model.Builder.state b "c" [| "idle"; "busy" |] in
+  let start = Model.Builder.choice_bool b "start" in
+  let m =
+    Model.Builder.build b ~step:(fun ctx ->
+        let open Model.Builder in
+        (match get ctx a with
+         | 0 -> if chosen ctx start = 1 && get ctx c = 0 then set ctx a 1
+         | 1 -> set ctx a 2
+         | 2 -> set ctx a 0
+         | _ -> assert false);
+        match get ctx c with
+        | 0 -> if get ctx a = 1 then set ctx c 1
+        | 1 -> if get ctx a = 0 then set ctx c 0
+        | _ -> assert false)
+  in
+  let g = State_graph.enumerate m in
+  Alcotest.(check bool) "fewer states than the product bound" true
+    (float_of_int (State_graph.num_states g)
+     < Model.num_states_upper_bound m)
+
+let test_max_states () =
+  (* A 16-bit counter exceeds a 100-state bound. *)
+  let b = Model.Builder.create "counter" in
+  let values = Array.init 65536 string_of_int in
+  let cnt = Model.Builder.state b "cnt" values in
+  let m =
+    Model.Builder.build b ~step:(fun ctx ->
+        let open Model.Builder in
+        set ctx cnt ((get ctx cnt + 1) mod 65536))
+  in
+  match State_graph.enumerate ~max_states:100 m with
+  | exception State_graph.Too_many_states 100 -> ()
+  | _ -> Alcotest.fail "expected Too_many_states"
+
+let test_edge_offsets () =
+  let g = State_graph.enumerate (handshake_model ()) in
+  let offsets = State_graph.edge_offsets g in
+  Alcotest.(check int) "last offset is edge count"
+    (State_graph.num_edges g)
+    offsets.(State_graph.num_states g);
+  Alcotest.(check bool) "monotone" true
+    (let ok = ref true in
+     for i = 0 to Array.length offsets - 2 do
+       if offsets.(i) > offsets.(i + 1) then ok := false
+     done;
+     !ok)
+
+let test_find_state () =
+  let g = State_graph.enumerate (handshake_model ()) in
+  Alcotest.(check (option int)) "reset found" (Some 0)
+    (State_graph.find_state g [| 0 |]);
+  Alcotest.(check (option int)) "unreachable absent" None
+    (State_graph.find_state g [| 2 |] |> fun r ->
+     if r = None then None else State_graph.find_state g [| 5 |])
+
+(* Enumerating a translated HDL design agrees with enumerating an
+   equivalent hand model. *)
+let test_hdl_and_hand_model_agree () =
+  let src =
+    {|
+module handshake (clk, rst, req, ack);
+  input clk, rst, req;
+  output ack;
+  reg [1:0] state; // avp state
+  // avp clock clk
+  // avp reset rst
+  // avp free req
+  always @(posedge clk) begin
+    if (rst)
+      state <= 2'b00;
+    else begin
+      case (state)
+        2'b00: if (req) state <= 2'b01;
+        2'b01: state <= 2'b10;
+        2'b10: if (!req) state <= 2'b00;
+        default: state <= 2'b00;
+      endcase
+    end
+  end
+  assign ack = state == 2'b10;
+endmodule
+|}
+  in
+  let r = Translate.translate (Elab.elaborate (Parser.parse src)) in
+  let g_hdl = State_graph.enumerate r.Translate.model in
+  let g_hand = State_graph.enumerate (handshake_model ()) in
+  Alcotest.(check int) "same state count"
+    (State_graph.num_states g_hand)
+    (State_graph.num_states g_hdl);
+  Alcotest.(check int) "same edge count"
+    (State_graph.num_edges g_hand)
+    (State_graph.num_edges g_hdl)
+
+(* Property: enumeration is closed — every recorded successor is a
+   valid state id, and simulating any recorded edge's condition from
+   its source state lands on its destination. *)
+let prop_edges_are_consistent =
+  QCheck.Test.make ~name:"recorded edges match the transition function"
+    ~count:20 QCheck.unit
+    (fun () ->
+      let m = handshake_model () in
+      let g = State_graph.enumerate m in
+      let ok = ref true in
+      Array.iteri
+        (fun src out ->
+          Array.iter
+            (fun (dst, ci) ->
+              let choices = Model.choice_of_index m ci in
+              let computed = m.Model.next g.State_graph.states.(src) choices in
+              match State_graph.find_state g computed with
+              | Some id when id = dst -> ()
+              | _ -> ok := false)
+            out)
+        g.State_graph.adj;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "enumerate handshake" `Quick test_enumerate_handshake;
+    Alcotest.test_case "all conditions mode" `Quick
+      test_enumerate_all_conditions;
+    Alcotest.test_case "interlock prunes product" `Quick
+      test_interlock_prunes_product;
+    Alcotest.test_case "max states bound" `Quick test_max_states;
+    Alcotest.test_case "edge offsets" `Quick test_edge_offsets;
+    Alcotest.test_case "find state" `Quick test_find_state;
+    Alcotest.test_case "hdl and hand model agree" `Quick
+      test_hdl_and_hand_model_agree;
+    QCheck_alcotest.to_alcotest prop_edges_are_consistent;
+  ]

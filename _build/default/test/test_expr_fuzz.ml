@@ -1,0 +1,166 @@
+(* Differential fuzzing of the expression pipeline: a random AST is
+   pretty-printed into Verilog, parsed back, elaborated and simulated;
+   the result must equal a direct interpretation of the original AST.
+   This cross-checks the lexer, parser, elaborator and simulator
+   against one another over the whole operator set. *)
+
+open Avp_logic
+open Avp_hdl
+
+(* Direct AST interpreter over an environment of named values; the
+   same width rules as the simulator (zero-extension to max width). *)
+let rec eval env (e : Ast.expr) : Bv.t =
+  match e with
+  | Ast.Literal v -> v
+  | Ast.Ident n -> List.assoc n env
+  | Ast.Index (n, i) ->
+    let v = List.assoc n env in
+    (match Bv.to_int (eval env i) with
+     | Some k when k >= 0 && k < Bv.width v -> Bv.of_bits [ Bv.get v k ]
+     | Some _ | None -> Bv.all_x 1)
+  | Ast.Range (n, hi, lo) -> Bv.select (List.assoc n env) ~hi ~lo
+  | Ast.Unop (op, e) ->
+    let v = eval env e in
+    (match op with
+     | Ast.Not ->
+       (match Bv.to_bool v with
+        | Some b -> Bv.of_bits [ Bit.of_bool (not b) ]
+        | None -> Bv.all_x 1)
+     | Ast.Bnot -> Bv.lognot v
+     | Ast.Uand -> Bv.of_bits [ Bv.reduce_and v ]
+     | Ast.Uor -> Bv.of_bits [ Bv.reduce_or v ]
+     | Ast.Uxor -> Bv.of_bits [ Bv.reduce_xor v ]
+     | Ast.Neg -> Bv.neg v)
+  | Ast.Binop (op, a, b) ->
+    let va = eval env a and vb = eval env b in
+    let logical f =
+      match Bv.to_bool va, Bv.to_bool vb with
+      | Some x, Some y -> Bv.of_bits [ Bit.of_bool (f x y) ]
+      | _ -> Bv.all_x 1
+    in
+    (match op with
+     | Ast.Add -> Bv.add va vb
+     | Ast.Sub -> Bv.sub va vb
+     | Ast.Mul -> Bv.mul va vb
+     | Ast.Band -> Bv.logand va vb
+     | Ast.Bor -> Bv.logor va vb
+     | Ast.Bxor -> Bv.logxor va vb
+     | Ast.Land -> logical ( && )
+     | Ast.Lor -> logical ( || )
+     | Ast.Eq -> Bv.of_bits [ Bv.eq va vb ]
+     | Ast.Neq -> Bv.of_bits [ Bv.neq va vb ]
+     | Ast.Ceq -> Bv.of_bits [ Bv.case_eq va vb ]
+     | Ast.Cneq -> Bv.of_bits [ Bit.lognot (Bv.case_eq va vb) ]
+     | Ast.Lt -> Bv.of_bits [ Bv.lt va vb ]
+     | Ast.Le -> Bv.of_bits [ Bv.le va vb ]
+     | Ast.Gt -> Bv.of_bits [ Bv.gt va vb ]
+     | Ast.Ge -> Bv.of_bits [ Bv.ge va vb ]
+     | Ast.Shl -> Bv.shift_left va vb
+     | Ast.Shr -> Bv.shift_right va vb)
+  | Ast.Ternary (c, a, b) ->
+    (match Bv.to_bool (eval env c) with
+     | Some true -> eval env a
+     | Some false -> eval env b
+     | None -> Bv.mux ~sel:Bit.X (eval env a) (eval env b))
+  | Ast.Concat es ->
+    (match es with
+     | [] -> invalid_arg "concat"
+     | first :: rest ->
+       List.fold_left
+         (fun acc e -> Bv.concat acc (eval env e))
+         (eval env first) rest)
+  | Ast.Repeat (n, e) -> Bv.repeat n (eval env e)
+
+(* Random expression generator over inputs a, b (8 bits) and c (1
+   bit). *)
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return (Ast.Ident "a");
+        return (Ast.Ident "b");
+        return (Ast.Ident "c");
+        map
+          (fun v -> Ast.Literal (Bv.of_int ~width:8 v))
+          (int_bound 255);
+        map (fun v -> Ast.Literal (Bv.of_int ~width:1 v)) (int_bound 1);
+        map
+          (fun (hi, lo) ->
+            let lo = min hi lo and hi = max hi lo in
+            Ast.Range ("a", hi, lo))
+          (pair (int_bound 7) (int_bound 7));
+        map (fun i -> Ast.Index ("b", Ast.Literal (Bv.of_int ~width:3 i)))
+          (int_bound 7);
+      ]
+  in
+  let unop =
+    oneofl [ Ast.Not; Ast.Bnot; Ast.Uand; Ast.Uor; Ast.Uxor; Ast.Neg ]
+  in
+  let binop =
+    oneofl
+      [
+        Ast.Add; Ast.Sub; Ast.Mul; Ast.Band; Ast.Bor; Ast.Bxor; Ast.Land;
+        Ast.Lor; Ast.Eq; Ast.Neq; Ast.Ceq; Ast.Cneq; Ast.Lt; Ast.Le;
+        Ast.Gt; Ast.Ge; Ast.Shl; Ast.Shr;
+      ]
+  in
+  let rec expr depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          (2, map2 (fun op e -> Ast.Unop (op, e)) unop (expr (depth - 1)));
+          (4,
+           map3
+             (fun op a b -> Ast.Binop (op, a, b))
+             binop (expr (depth - 1)) (expr (depth - 1)));
+          (1,
+           map3
+             (fun c a b -> Ast.Ternary (c, a, b))
+             (expr (depth - 1)) (expr (depth - 1)) (expr (depth - 1)));
+          (1,
+           map2 (fun a b -> Ast.Concat [ a; b ]) (expr (depth - 1))
+             (expr (depth - 1)));
+          (1, map (fun e -> Ast.Repeat (2, e)) (expr (depth - 1)));
+        ]
+  in
+  expr 4
+
+let prop_expr_pipeline =
+  QCheck.Test.make ~name:"random expressions: print/parse/sim = interpret"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(triple gen_expr (int_bound 255) (int_bound 511)))
+    (fun (e, av, bc) ->
+      let bv_a = Bv.of_int ~width:8 av in
+      let bv_b = Bv.of_int ~width:8 (bc land 0xff) in
+      let bv_c = Bv.of_int ~width:1 (bc lsr 8) in
+      let expected =
+        eval [ ("a", bv_a); ("b", bv_b); ("c", bv_c) ] e
+      in
+      let width = max 1 (min 16 (Bv.width expected)) in
+      let src =
+        Format.asprintf
+          {|
+module fuzz (a, b, c, y);
+  input [7:0] a, b;
+  input c;
+  output [%d:0] y;
+  assign y = %a;
+endmodule
+|}
+          (width - 1) Ast.pp_expr e
+      in
+      match Parser.parse src with
+      | exception (Parser.Error _ | Lexer.Error _) -> false
+      | design ->
+        let sim = Sim.create (Elab.elaborate design) in
+        Sim.poke_id sim (Elab.net_id (Sim.design sim) "a") bv_a;
+        Sim.poke_id sim (Elab.net_id (Sim.design sim) "b") bv_b;
+        Sim.poke_id sim (Elab.net_id (Sim.design sim) "c") bv_c;
+        Sim.settle sim;
+        Bv.equal (Sim.get sim "y") (Bv.resize expected width))
+
+let suite = [ QCheck_alcotest.to_alcotest prop_expr_pipeline ]

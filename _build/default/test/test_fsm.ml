@@ -1,0 +1,382 @@
+open Avp_fsm
+open Avp_hdl
+
+let contains_sub text needle =
+  let tl = String.length text and nl = String.length needle in
+  let rec loop i =
+    if i + nl > tl then false
+    else if String.sub text i nl = needle then true
+    else loop (i + 1)
+  in
+  nl = 0 || loop 0
+
+
+(* A two-FSM model with an interlock: a requester and a server that
+   cannot both be busy. *)
+let interlock_model () =
+  let b = Model.Builder.create "interlock" in
+  let req = Model.Builder.state b "req_fsm" [| "idle"; "wait"; "busy" |] in
+  let srv = Model.Builder.state b "srv_fsm" [| "idle"; "busy" |] in
+  let go = Model.Builder.choice_bool b "go" in
+  let done_ = Model.Builder.choice_bool b "done" in
+  Model.Builder.build b ~step:(fun ctx ->
+      let open Model.Builder in
+      (match get ctx req with
+       | 0 -> if chosen ctx go = 1 then set ctx req 1
+       | 1 -> if get ctx srv = 0 then set ctx req 2
+       | 2 -> if chosen ctx done_ = 1 then set ctx req 0
+       | _ -> assert false);
+      match get ctx srv with
+      | 0 -> if get ctx req = 1 then set ctx srv 1
+      | 1 -> if chosen ctx done_ = 1 then set ctx srv 0
+      | _ -> assert false)
+
+let test_builder_model () =
+  let m = interlock_model () in
+  Alcotest.(check int) "state bits" 3 (Model.state_bits m);
+  Alcotest.(check int) "choices" 4 (Model.num_choices m);
+  (match Model.validate m with
+   | Ok () -> ()
+   | Error msg -> Alcotest.fail msg);
+  let next = m.Model.next m.Model.reset [| 1; 0 |] in
+  Alcotest.(check (array int)) "go moves requester" [| 1; 0 |] next
+
+let test_choice_encoding () =
+  let m = interlock_model () in
+  for i = 0 to Model.num_choices m - 1 do
+    let c = Model.choice_of_index m i in
+    Alcotest.(check int) "roundtrip" i (Model.index_of_choice m c)
+  done
+
+let test_builder_double_assign () =
+  let b = Model.Builder.create "bad" in
+  let s = Model.Builder.state_bool b "s" () in
+  let m =
+    Model.Builder.build b ~step:(fun ctx ->
+        Model.Builder.set ctx s 1;
+        Model.Builder.set ctx s 0)
+  in
+  match m.Model.next m.Model.reset [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected double-assignment failure"
+
+(* ---------------------------------------------------------------- *)
+(* Latch inference                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let latchy_src =
+  {|
+module latchy (en, d, q, full);
+  input en, d;
+  output q, full;
+  reg q;
+  reg full;
+  always @(*) begin
+    if (en) q = d;
+  end
+  always @(*) begin
+    full = d | en;
+  end
+endmodule
+|}
+
+let test_latch_inference () =
+  let elab = Elab.elaborate (Parser.parse latchy_src) in
+  let latches = Latch.analyze elab in
+  let names = List.map (fun l -> l.Latch.net.Elab.name) latches in
+  Alcotest.(check (list string)) "only q latches" [ "q" ] names
+
+let test_latch_complete_if () =
+  let src =
+    {|
+module ok (en, d, q);
+  input en, d;
+  output q;
+  reg q;
+  always @(*) begin
+    if (en) q = d;
+    else q = 1'b0;
+  end
+endmodule
+|}
+  in
+  let elab = Elab.elaborate (Parser.parse src) in
+  Alcotest.(check int) "no latch" 0 (List.length (Latch.analyze elab))
+
+let test_latch_case_without_default () =
+  let src =
+    {|
+module c (s, q);
+  input [1:0] s;
+  output q;
+  reg q;
+  always @(*) begin
+    case (s)
+      2'b00: q = 1'b0;
+      2'b01: q = 1'b1;
+    endcase
+  end
+endmodule
+|}
+  in
+  let elab = Elab.elaborate (Parser.parse src) in
+  let latches = Latch.analyze elab in
+  Alcotest.(check int) "case without default latches" 1 (List.length latches)
+
+(* ---------------------------------------------------------------- *)
+(* HDL -> FSM translation                                           *)
+(* ---------------------------------------------------------------- *)
+
+let handshake_src =
+  {|
+module handshake (clk, rst, req, ack);
+  input clk, rst, req;
+  output ack;
+  reg [1:0] state; // avp state
+
+  // avp clock clk
+  // avp reset rst
+  // avp free req
+
+  // avp control_begin
+  always @(posedge clk) begin
+    if (rst)
+      state <= 2'b00;
+    else begin
+      case (state)
+        2'b00: if (req) state <= 2'b01;
+        2'b01: state <= 2'b10;
+        2'b10: if (!req) state <= 2'b00;
+        default: state <= 2'b00;
+      endcase
+    end
+  end
+  // avp control_end
+
+  assign ack = state == 2'b10;
+endmodule
+|}
+
+let translate_handshake () =
+  Translate.translate (Elab.elaborate (Parser.parse handshake_src))
+
+let test_translate_basic () =
+  let r = translate_handshake () in
+  let m = r.Translate.model in
+  Alcotest.(check int) "one state var" 1 (Array.length m.Model.state_vars);
+  Alcotest.(check int) "one choice var" 1 (Array.length m.Model.choice_vars);
+  Alcotest.(check (array int)) "reset state" [| 0 |] m.Model.reset;
+  (* state 00 --req--> 01 *)
+  Alcotest.(check (array int)) "req advances" [| 1 |]
+    (m.Model.next [| 0 |] [| 1 |]);
+  Alcotest.(check (array int)) "no req holds" [| 0 |]
+    (m.Model.next [| 0 |] [| 0 |]);
+  (* state 01 -> 10 under both choices *)
+  Alcotest.(check (array int)) "unconditional" [| 2 |]
+    (m.Model.next [| 1 |] [| 0 |]);
+  Alcotest.(check (array int)) "unconditional'" [| 2 |]
+    (m.Model.next [| 1 |] [| 1 |]);
+  (* state 10: !req returns to idle *)
+  Alcotest.(check (array int)) "release" [| 0 |]
+    (m.Model.next [| 2 |] [| 0 |]);
+  Alcotest.(check (array int)) "hold busy" [| 2 |]
+    (m.Model.next [| 2 |] [| 1 |])
+
+let test_translate_missing_annotations () =
+  let src =
+    {|
+module nostate (clk, rst, d, q);
+  input clk, rst, d;
+  output q;
+  reg q;
+  always @(posedge clk) q <= d;
+endmodule
+|}
+  in
+  match Translate.translate (Elab.elaborate (Parser.parse src)) with
+  | exception Translate.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_translate_unclosed_cone () =
+  (* 'd' feeds the state register but is neither free nor tied. *)
+  let src =
+    {|
+module unclosed (clk, rst, d, q);
+  input clk, rst, d;
+  output q;
+  reg q; // avp state
+  // avp clock clk
+  // avp reset rst
+  always @(posedge clk) begin
+    if (rst) q <= 1'b0;
+    else q <= d;
+  end
+endmodule
+|}
+  in
+  match Translate.translate (Elab.elaborate (Parser.parse src)) with
+  | exception Translate.Unsupported msg ->
+    Alcotest.(check bool) "message names the net" true
+      (contains_sub msg "free nor tied")
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_translate_tie () =
+  let src =
+    {|
+module tied (clk, rst, d, q);
+  input clk, rst, d;
+  output q;
+  reg q; // avp state
+  // avp clock clk
+  // avp reset rst
+  // avp tie d 1
+  always @(posedge clk) begin
+    if (rst) q <= 1'b0;
+    else q <= d;
+  end
+endmodule
+|}
+  in
+  let r = Translate.translate (Elab.elaborate (Parser.parse src)) in
+  let m = r.Translate.model in
+  Alcotest.(check int) "no choice vars" 0 (Array.length m.Model.choice_vars);
+  Alcotest.(check (array int)) "tied input drives state to 1" [| 1 |]
+    (m.Model.next [| 0 |] [||])
+
+let test_translate_latch_requires_annotation () =
+  let src =
+    {|
+module l (clk, rst, en, d, q);
+  input clk, rst, en, d;
+  output q;
+  reg q; // avp state
+  reg held; // not annotated
+  // avp clock clk
+  // avp reset rst
+  // avp free en
+  // avp free d
+  always @(*) begin
+    if (en) held = d;
+  end
+  always @(posedge clk) begin
+    if (rst) q <= 1'b0;
+    else q <= held;
+  end
+endmodule
+|}
+  in
+  match Translate.translate (Elab.elaborate (Parser.parse src)) with
+  | exception Translate.Unsupported msg ->
+    Alcotest.(check bool) "mentions latch" true (contains_sub msg "latch")
+  | _ -> Alcotest.fail "expected Unsupported for unannotated latch"
+
+let test_murphi_emission () =
+  let r = translate_handshake () in
+  let text = Murphi.emit r in
+  let contains needle = contains_sub text needle in
+  Alcotest.(check bool) "has var section" true (contains "var");
+  Alcotest.(check bool) "declares state" true (contains "state : 0..3");
+  Alcotest.(check bool) "has choose section" true (contains "choose");
+  Alcotest.(check bool) "declares choice" true (contains "req : 0..1");
+  Alcotest.(check bool) "has startstate" true (contains "startstate");
+  Alcotest.(check bool) "has rule" true (contains "rule \"clocked update\"")
+
+(* The translated model must agree with direct HDL simulation on
+   random walks. *)
+let prop_translation_agrees_with_sim =
+  QCheck.Test.make ~name:"translated model agrees with HDL simulation"
+    ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 30) bool)
+    (fun reqs ->
+      let r = translate_handshake () in
+      let m = r.Translate.model in
+      (* Walk the model. *)
+      let model_states =
+        List.fold_left
+          (fun (cur, acc) req ->
+            let nxt = m.Model.next cur [| (if req then 1 else 0) |] in
+            (nxt, nxt.(0) :: acc))
+          (m.Model.reset, [])
+          reqs
+        |> snd |> List.rev
+      in
+      (* Walk the simulator. *)
+      let sim =
+        Sim.create (Elab.elaborate (Parser.parse handshake_src))
+      in
+      let open Avp_logic in
+      Sim.set sim "rst" (Bv.of_int ~width:1 1);
+      Sim.step sim "clk";
+      Sim.set sim "rst" (Bv.of_int ~width:1 0);
+      let sim_states =
+        List.map
+          (fun req ->
+            Sim.set sim "req" (Bv.of_int ~width:1 (if req then 1 else 0));
+            Sim.step sim "clk";
+            Bv.to_int_exn (Sim.get sim "state"))
+          reqs
+      in
+      model_states = sim_states)
+
+let suite =
+  [
+    Alcotest.test_case "builder model" `Quick test_builder_model;
+    Alcotest.test_case "choice encoding" `Quick test_choice_encoding;
+    Alcotest.test_case "builder double assign" `Quick
+      test_builder_double_assign;
+    Alcotest.test_case "latch inference" `Quick test_latch_inference;
+    Alcotest.test_case "complete if has no latch" `Quick
+      test_latch_complete_if;
+    Alcotest.test_case "case without default latches" `Quick
+      test_latch_case_without_default;
+    Alcotest.test_case "translate handshake" `Quick test_translate_basic;
+    Alcotest.test_case "translate requires annotations" `Quick
+      test_translate_missing_annotations;
+    Alcotest.test_case "translate rejects unclosed cone" `Quick
+      test_translate_unclosed_cone;
+    Alcotest.test_case "translate with tied input" `Quick test_translate_tie;
+    Alcotest.test_case "latch must be annotated" `Quick
+      test_translate_latch_requires_annotation;
+    Alcotest.test_case "murphi emission" `Quick test_murphi_emission;
+    QCheck_alcotest.to_alcotest prop_translation_agrees_with_sim;
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Murphi emission details                                          *)
+(* ---------------------------------------------------------------- *)
+
+let test_murphi_case_and_ops () =
+  let src =
+    {|
+module mix (clk, rst, a, b, s);
+  input clk, rst;
+  input a; // avp free
+  input b; // avp free
+  reg [1:0] s; // avp state
+  // avp clock clk
+  // avp reset rst
+  always @(posedge clk) begin
+    if (rst) s <= 2'b00;
+    else begin
+      case ({a, b})
+        2'b11: s <= s + 2'b01;
+        2'b00: s <= 2'b00;
+        default: s <= a ? 2'b10 : s;
+      endcase
+    end
+  end
+endmodule
+|}
+  in
+  let r = Translate.translate (Elab.elaborate (Parser.parse src)) in
+  let text = Murphi.emit r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains_sub text needle))
+    [ "switch"; "endswitch"; "case"; "cat("; "cond"; "startstate";
+      "s : 0..3" ]
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "murphi case and operators" `Quick
+        test_murphi_case_and_ops ]

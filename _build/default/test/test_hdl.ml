@@ -1,0 +1,448 @@
+open Avp_logic
+open Avp_hdl
+
+let bv = Alcotest.testable Bv.pp Bv.equal
+let check_bv = Alcotest.check bv
+
+let counter_src =
+  {|
+module counter (clk, rst, en, count);
+  input clk, rst, en;
+  output [3:0] count;
+  reg [3:0] count; // avp state
+
+  always @(posedge clk) begin
+    if (rst)
+      count <= 4'b0000;
+    else if (en)
+      count <= count + 4'b0001;
+  end
+endmodule
+|}
+
+let build src =
+  let design = Parser.parse src in
+  Sim.create (Elab.elaborate design)
+
+let run_reset sim clk rst =
+  Sim.set sim rst (Bv.of_int ~width:1 1);
+  Sim.step sim clk;
+  Sim.set sim rst (Bv.of_int ~width:1 0)
+
+let test_counter () =
+  let sim = build counter_src in
+  run_reset sim "clk" "rst";
+  check_bv "after reset" (Bv.of_int ~width:4 0) (Sim.get sim "count");
+  Sim.set sim "en" (Bv.of_int ~width:1 1);
+  Sim.step sim "clk";
+  Sim.step sim "clk";
+  Sim.step sim "clk";
+  check_bv "counted to 3" (Bv.of_int ~width:4 3) (Sim.get sim "count");
+  Sim.set sim "en" (Bv.of_int ~width:1 0);
+  Sim.step sim "clk";
+  check_bv "hold when disabled" (Bv.of_int ~width:4 3) (Sim.get sim "count")
+
+let test_counter_wraps () =
+  let sim = build counter_src in
+  run_reset sim "clk" "rst";
+  Sim.set sim "en" (Bv.of_int ~width:1 1);
+  for _ = 1 to 17 do
+    Sim.step sim "clk"
+  done;
+  check_bv "wraps modulo 16" (Bv.of_int ~width:4 1) (Sim.get sim "count")
+
+let test_initial_x () =
+  let sim = build counter_src in
+  Alcotest.(check bool)
+    "registers power up undefined" false
+    (Bv.is_defined (Sim.get sim "count"))
+
+let comb_src =
+  {|
+module comb (a, b, sel, y, z);
+  input [3:0] a, b;
+  input sel;
+  output [3:0] y;
+  output z;
+  assign y = sel ? a : b;
+  assign z = &a | (b == 4'd3);
+endmodule
+|}
+
+let test_continuous_assign () =
+  let sim = build comb_src in
+  Sim.set sim "a" (Bv.of_int ~width:4 0xF);
+  Sim.set sim "b" (Bv.of_int ~width:4 3);
+  Sim.set sim "sel" (Bv.of_int ~width:1 1);
+  check_bv "mux a" (Bv.of_int ~width:4 0xF) (Sim.get sim "y");
+  check_bv "reduction or eq" (Bv.of_int ~width:1 1) (Sim.get sim "z");
+  Sim.set sim "sel" (Bv.of_int ~width:1 0);
+  check_bv "mux b" (Bv.of_int ~width:4 3) (Sim.get sim "y")
+
+let tristate_src =
+  {|
+module tristate (en_a, en_b, data_a, data_b, bus);
+  input en_a, en_b;
+  input [7:0] data_a, data_b;
+  output [7:0] bus;
+  assign bus = en_a ? data_a : 8'bzzzzzzzz;
+  assign bus = en_b ? data_b : 8'bzzzzzzzz;
+endmodule
+|}
+
+let test_tristate_bus () =
+  let sim = build tristate_src in
+  Sim.set sim "data_a" (Bv.of_int ~width:8 0xAA);
+  Sim.set sim "data_b" (Bv.of_int ~width:8 0x55);
+  Sim.set sim "en_a" (Bv.of_int ~width:1 0);
+  Sim.set sim "en_b" (Bv.of_int ~width:1 0);
+  check_bv "undriven bus floats" (Bv.all_z 8) (Sim.get sim "bus");
+  Sim.set sim "en_a" (Bv.of_int ~width:1 1);
+  check_bv "driver a wins" (Bv.of_int ~width:8 0xAA) (Sim.get sim "bus");
+  Sim.set sim "en_b" (Bv.of_int ~width:1 1);
+  check_bv "conflict is x" (Bv.all_x 8) (Sim.get sim "bus");
+  Sim.set sim "data_b" (Bv.of_int ~width:8 0xAA);
+  check_bv "agreeing drivers" (Bv.of_int ~width:8 0xAA) (Sim.get sim "bus")
+
+let fsm_src =
+  {|
+module handshake (clk, rst, req, ack, state);
+  input clk, rst, req;
+  output ack;
+  output [1:0] state;
+  reg [1:0] state; // avp state
+
+  // avp control_begin
+  always @(posedge clk) begin
+    if (rst)
+      state <= 2'b00;
+    else begin
+      case (state)
+        2'b00: if (req) state <= 2'b01;
+        2'b01: state <= 2'b10;
+        2'b10: if (!req) state <= 2'b00;
+        default: state <= 2'b00;
+      endcase
+    end
+  end
+  // avp control_end
+
+  assign ack = state == 2'b10;
+endmodule
+|}
+
+let test_case_fsm () =
+  let sim = build fsm_src in
+  run_reset sim "clk" "rst";
+  check_bv "idle" (Bv.of_int ~width:2 0) (Sim.get sim "state");
+  Sim.set sim "req" (Bv.of_int ~width:1 1);
+  Sim.step sim "clk";
+  check_bv "requested" (Bv.of_int ~width:2 1) (Sim.get sim "state");
+  Sim.step sim "clk";
+  check_bv "acking" (Bv.of_int ~width:2 2) (Sim.get sim "state");
+  check_bv "ack out" (Bv.of_int ~width:1 1) (Sim.get sim "ack");
+  Sim.step sim "clk";
+  check_bv "holds while req" (Bv.of_int ~width:2 2) (Sim.get sim "state");
+  Sim.set sim "req" (Bv.of_int ~width:1 0);
+  Sim.step sim "clk";
+  check_bv "back to idle" (Bv.of_int ~width:2 0) (Sim.get sim "state")
+
+let hierarchy_src =
+  {|
+module leaf (clk, d, q);
+  input clk;
+  input [3:0] d;
+  output [3:0] q;
+  reg [3:0] q;
+  always @(posedge clk) q <= d;
+endmodule
+
+module top (clk, in, out);
+  input clk;
+  input [3:0] in;
+  output [3:0] out;
+  wire [3:0] mid;
+  leaf u0 (.clk(clk), .d(in), .q(mid));
+  leaf u1 (.clk(clk), .d(mid), .q(out));
+endmodule
+|}
+
+let test_hierarchy () =
+  let design = Parser.parse hierarchy_src in
+  let elab = Elab.elaborate ~top:"top" design in
+  let sim = Sim.create elab in
+  Sim.set sim "in" (Bv.of_int ~width:4 7);
+  Sim.step sim "clk";
+  check_bv "first stage" (Bv.of_int ~width:4 7) (Sim.get sim "u0.q");
+  Sim.step sim "clk";
+  check_bv "second stage" (Bv.of_int ~width:4 7) (Sim.get sim "out");
+  (* Aliased port: u0.q and the wire mid are one net. *)
+  Alcotest.(check int)
+    "alias shares net" (Elab.net_id elab "u0.q") (Elab.net_id elab "mid")
+
+let test_force_release () =
+  let sim = build counter_src in
+  run_reset sim "clk" "rst";
+  Sim.set sim "en" (Bv.of_int ~width:1 1);
+  Sim.force sim "count" (Bv.of_int ~width:4 9);
+  check_bv "forced" (Bv.of_int ~width:4 9) (Sim.get sim "count");
+  Sim.step sim "clk";
+  check_bv "force holds across edge" (Bv.of_int ~width:4 9)
+    (Sim.get sim "count");
+  Sim.release sim "count";
+  Sim.step sim "clk";
+  check_bv "resumes from forced value" (Bv.of_int ~width:4 10)
+    (Sim.get sim "count")
+
+let test_translate_off () =
+  let src =
+    {|
+module m (a, y);
+  input a;
+  output y;
+  // avp translate_off
+  initial begin
+    y = 1'b0;
+  end
+  // avp translate_on
+  assign y = a;
+endmodule
+|}
+  in
+  let m = Parser.parse_module_exn src in
+  let has_initial =
+    List.exists
+      (function Ast.Initial _ -> true | _ -> false)
+      m.Ast.m_items
+  in
+  Alcotest.(check bool) "initial block excised" false has_initial
+
+let test_directives_attrs () =
+  let m = Parser.parse_module_exn fsm_src in
+  let attrs =
+    List.concat_map
+      (function Ast.Net_decl d -> d.Ast.d_attrs | _ -> [])
+      m.Ast.m_items
+  in
+  Alcotest.(check (list string)) "state attribute" [ "state" ] attrs;
+  let standalone =
+    List.filter_map
+      (function Ast.Directive (p, _) -> Some p | _ -> None)
+      m.Ast.m_items
+  in
+  Alcotest.(check (list string))
+    "control delimiters" [ "control_begin"; "control_end" ] standalone
+
+let test_parse_errors () =
+  let expect_fail src =
+    match Parser.parse src with
+    | exception Parser.Error _ -> ()
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  expect_fail "module m (a; endmodule";
+  expect_fail "module m (a); input a endmodule";
+  expect_fail "module m (a); assign = 1; endmodule";
+  expect_fail "module m (a); input a; always @(posedge) ; endmodule"
+
+let test_literals () =
+  let src =
+    {|
+module lits (y0, y1, y2, y3);
+  output [7:0] y0;
+  output [7:0] y1;
+  output [7:0] y2;
+  output [3:0] y3;
+  assign y0 = 8'hA5;
+  assign y1 = 8'b1010_0101;
+  assign y2 = 8'd165;
+  assign y3 = 4'b1xz0;
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.settle sim;
+  check_bv "hex" (Bv.of_int ~width:8 0xA5) (Sim.get sim "y0");
+  check_bv "bin" (Bv.of_int ~width:8 0xA5) (Sim.get sim "y1");
+  check_bv "dec" (Bv.of_int ~width:8 0xA5) (Sim.get sim "y2");
+  check_bv "xz" (Bv.of_string "1xz0") (Sim.get sim "y3")
+
+let test_concat_repl () =
+  let src =
+    {|
+module cc (a, b, y, r);
+  input [1:0] a;
+  input [1:0] b;
+  output [3:0] y;
+  output [5:0] r;
+  assign y = {a, b};
+  assign r = {3{a}};
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "a" (Bv.of_string "10");
+  Sim.set sim "b" (Bv.of_string "01");
+  check_bv "concat" (Bv.of_string "1001") (Sim.get sim "y");
+  check_bv "replicate" (Bv.of_string "101010") (Sim.get sim "r")
+
+let test_comb_always () =
+  let src =
+    {|
+module priority (a, b, c, y);
+  input a, b, c;
+  output [1:0] y;
+  reg [1:0] y;
+  always @(*) begin
+    if (a) y = 2'd1;
+    else if (b) y = 2'd2;
+    else if (c) y = 2'd3;
+    else y = 2'd0;
+  end
+endmodule
+|}
+  in
+  let sim = build src in
+  let set01 n v = Sim.set sim n (Bv.of_int ~width:1 v) in
+  set01 "a" 0;
+  set01 "b" 0;
+  set01 "c" 0;
+  check_bv "none" (Bv.of_int ~width:2 0) (Sim.get sim "y");
+  set01 "c" 1;
+  check_bv "c" (Bv.of_int ~width:2 3) (Sim.get sim "y");
+  set01 "b" 1;
+  check_bv "b beats c" (Bv.of_int ~width:2 2) (Sim.get sim "y");
+  set01 "a" 1;
+  check_bv "a beats all" (Bv.of_int ~width:2 1) (Sim.get sim "y")
+
+let test_comb_loop_detected () =
+  (* An inverter loop through an [if] oscillates between defined
+     values (an X condition deterministically takes the else branch),
+     so settling can never converge. *)
+  let src =
+    {|
+module osc (y);
+  output y;
+  reg t;
+  always @(*) begin
+    if (y) t = 1'b0;
+    else t = 1'b1;
+  end
+  assign y = t;
+endmodule
+|}
+  in
+  let design = Parser.parse src in
+  let sim = Sim.create (Elab.elaborate design) in
+  match Sim.settle sim with
+  | exception Sim.Comb_loop _ -> ()
+  | () -> Alcotest.fail "expected Comb_loop"
+
+let test_blocking_chain_in_seq () =
+  let src =
+    {|
+module chain (clk, d, q);
+  input clk;
+  input [3:0] d;
+  output [3:0] q;
+  reg [3:0] q;
+  reg [3:0] tmp;
+  always @(posedge clk) begin
+    tmp = d + 4'd1;
+    q <= tmp + 4'd1;
+  end
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "d" (Bv.of_int ~width:4 3);
+  Sim.step sim "clk";
+  check_bv "blocking feeds nonblocking" (Bv.of_int ~width:4 5)
+    (Sim.get sim "q")
+
+let test_nonblocking_swap () =
+  let src =
+    {|
+module swap (clk, init, a, b);
+  input clk, init;
+  output [3:0] a, b;
+  reg [3:0] a, b;
+  always @(posedge clk) begin
+    if (init) begin
+      a <= 4'd1;
+      b <= 4'd2;
+    end else begin
+      a <= b;
+      b <= a;
+    end
+  end
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "init" (Bv.of_int ~width:1 1);
+  Sim.step sim "clk";
+  Sim.set sim "init" (Bv.of_int ~width:1 0);
+  Sim.step sim "clk";
+  check_bv "a took b" (Bv.of_int ~width:4 2) (Sim.get sim "a");
+  check_bv "b took a" (Bv.of_int ~width:4 1) (Sim.get sim "b")
+
+let test_bit_select () =
+  let src =
+    {|
+module sel (v, i, bit_out, slice);
+  input [7:0] v;
+  input [2:0] i;
+  output bit_out;
+  output [3:0] slice;
+  assign bit_out = v[i];
+  assign slice = v[6:3];
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "v" (Bv.of_string "01011010");
+  Sim.set sim "i" (Bv.of_int ~width:3 1);
+  check_bv "dynamic select" (Bv.of_string "1") (Sim.get sim "bit_out");
+  Sim.set sim "i" (Bv.of_int ~width:3 2);
+  check_bv "dynamic select 2" (Bv.of_string "0") (Sim.get sim "bit_out");
+  check_bv "part select" (Bv.of_string "1011") (Sim.get sim "slice")
+
+(* Pretty-print then reparse: the AST survives a round trip. *)
+let prop_pp_reparse =
+  let sources = [ counter_src; comb_src; tristate_src; fsm_src ] in
+  QCheck.Test.make ~name:"pretty-print/reparse round-trips" ~count:8
+    (QCheck.oneofl sources)
+    (fun src ->
+      let d1 = Parser.parse src in
+      let printed = Format.asprintf "%a" Ast.pp_design d1 in
+      let d2 = Parser.parse printed in
+      List.length d1 = List.length d2
+      &&
+      let e1 = Elab.elaborate d1 and e2 = Elab.elaborate d2 in
+      Array.length e1.Elab.nets = Array.length e2.Elab.nets
+      && Array.length e1.Elab.processes = Array.length e2.Elab.processes)
+
+let suite =
+  [
+    Alcotest.test_case "counter counts" `Quick test_counter;
+    Alcotest.test_case "counter wraps" `Quick test_counter_wraps;
+    Alcotest.test_case "registers power up x" `Quick test_initial_x;
+    Alcotest.test_case "continuous assign" `Quick test_continuous_assign;
+    Alcotest.test_case "tri-state bus resolution" `Quick test_tristate_bus;
+    Alcotest.test_case "case-based fsm" `Quick test_case_fsm;
+    Alcotest.test_case "hierarchy and aliasing" `Quick test_hierarchy;
+    Alcotest.test_case "force and release" `Quick test_force_release;
+    Alcotest.test_case "translate_off regions" `Quick test_translate_off;
+    Alcotest.test_case "avp directives and attrs" `Quick test_directives_attrs;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "literal formats" `Quick test_literals;
+    Alcotest.test_case "concat and replication" `Quick test_concat_repl;
+    Alcotest.test_case "combinational always" `Quick test_comb_always;
+    Alcotest.test_case "comb loop detection" `Quick test_comb_loop_detected;
+    Alcotest.test_case "blocking chain in seq block" `Quick
+      test_blocking_chain_in_seq;
+    Alcotest.test_case "nonblocking swap" `Quick test_nonblocking_swap;
+    Alcotest.test_case "bit and part selects" `Quick test_bit_select;
+    QCheck_alcotest.to_alcotest prop_pp_reparse;
+  ]

@@ -1,0 +1,478 @@
+(* Second round of HDL tests: lvalue shapes, edge kinds, deeper
+   hierarchy, force interactions, and simulator corner cases. *)
+
+open Avp_logic
+open Avp_hdl
+
+let bv = Alcotest.testable Bv.pp Bv.equal
+let check_bv = Alcotest.check bv
+
+let build src = Sim.create (Elab.elaborate (Parser.parse src))
+
+let test_part_select_write () =
+  let src =
+    {|
+module m (hi, lo, y);
+  input [3:0] hi, lo;
+  output [7:0] y;
+  reg [7:0] y;
+  always @(*) begin
+    y[7:4] = hi;
+    y[3:0] = lo;
+  end
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "hi" (Bv.of_string "1010");
+  Sim.set sim "lo" (Bv.of_string "0101");
+  check_bv "assembled" (Bv.of_string "10100101") (Sim.get sim "y")
+
+let test_concat_lvalue () =
+  let src =
+    {|
+module m (v, a, b);
+  input [5:0] v;
+  output [2:0] a;
+  output [2:0] b;
+  reg [2:0] a, b;
+  always @(*) begin
+    {a, b} = v;
+  end
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "v" (Bv.of_string "110001");
+  check_bv "msb part" (Bv.of_string "110") (Sim.get sim "a");
+  check_bv "lsb part" (Bv.of_string "001") (Sim.get sim "b")
+
+let test_dynamic_index_write () =
+  let src =
+    {|
+module m (clk, i, d, y);
+  input clk, d;
+  input [1:0] i;
+  output [3:0] y;
+  reg [3:0] y;
+  always @(posedge clk) y[i] <= d;
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.force sim "y" (Bv.of_string "0000");
+  Sim.release sim "y";
+  Sim.set sim "d" (Bv.of_int ~width:1 1);
+  Sim.set sim "i" (Bv.of_int ~width:2 2);
+  Sim.step sim "clk";
+  check_bv "bit 2 set" (Bv.of_string "0100") (Sim.get sim "y");
+  Sim.set sim "i" (Bv.of_int ~width:2 0);
+  Sim.step sim "clk";
+  check_bv "bit 0 set too" (Bv.of_string "0101") (Sim.get sim "y")
+
+let test_negedge () =
+  let src =
+    {|
+module m (clk, d, qp, qn);
+  input clk, d;
+  output qp, qn;
+  reg qp, qn;
+  always @(posedge clk) qp <= d;
+  always @(negedge clk) qn <= d;
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "d" (Bv.of_int ~width:1 1);
+  Sim.step sim "clk";
+  check_bv "posedge captured" (Bv.of_int ~width:1 1) (Sim.get sim "qp");
+  Alcotest.(check bool) "negedge not yet" false
+    (Bv.is_defined (Sim.get sim "qn"));
+  Sim.step ~edge:Ast.Negedge sim "clk";
+  check_bv "negedge captured" (Bv.of_int ~width:1 1) (Sim.get sim "qn")
+
+let test_three_level_hierarchy () =
+  let src =
+    {|
+module bit_ff (clk, d, q);
+  input clk, d;
+  output q;
+  reg q;
+  always @(posedge clk) q <= d;
+endmodule
+
+module pair (clk, d0, d1, q0, q1);
+  input clk, d0, d1;
+  output q0, q1;
+  bit_ff f0 (.clk(clk), .d(d0), .q(q0));
+  bit_ff f1 (.clk(clk), .d(d1), .q(q1));
+endmodule
+
+module quad (clk, d, q);
+  input clk;
+  input [3:0] d;
+  output [3:0] q;
+  pair lo (.clk(clk), .d0(d[0]), .d1(d[1]), .q0(q[0]), .q1(q[1]));
+  pair hi (.clk(clk), .d0(d[2]), .d1(d[3]), .q0(q[2]), .q1(q[3]));
+endmodule
+|}
+  in
+  let sim = Sim.create (Elab.elaborate ~top:"quad" (Parser.parse src)) in
+  Sim.set sim "d" (Bv.of_string "1010");
+  Sim.step sim "clk";
+  check_bv "all four bits latched" (Bv.of_string "1010") (Sim.get sim "q");
+  (* Hierarchical names reach the leaves. *)
+  check_bv "leaf visible" (Bv.of_int ~width:1 1) (Sim.get sim "lo.f1.q")
+
+let test_positional_connections () =
+  let src =
+    {|
+module inv (a, y);
+  input a;
+  output y;
+  assign y = !a;
+endmodule
+
+module top (x, z);
+  input x;
+  output z;
+  inv u0 (x, z);
+endmodule
+|}
+  in
+  let sim = Sim.create (Elab.elaborate ~top:"top" (Parser.parse src)) in
+  Sim.set sim "x" (Bv.of_int ~width:1 0);
+  check_bv "inverted" (Bv.of_int ~width:1 1) (Sim.get sim "z")
+
+let test_expression_port_connection () =
+  let src =
+    {|
+module inv (a, y);
+  input a;
+  output y;
+  assign y = !a;
+endmodule
+
+module top (x0, x1, z);
+  input x0, x1;
+  output z;
+  inv u0 (.a(x0 & x1), .y(z));
+endmodule
+|}
+  in
+  let sim = Sim.create (Elab.elaborate ~top:"top" (Parser.parse src)) in
+  Sim.set sim "x0" (Bv.of_int ~width:1 1);
+  Sim.set sim "x1" (Bv.of_int ~width:1 1);
+  check_bv "and then invert" (Bv.of_int ~width:1 0) (Sim.get sim "z")
+
+let test_force_on_driven_wire () =
+  let src =
+    {|
+module m (a, y);
+  input a;
+  output y;
+  assign y = a;
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "a" (Bv.of_int ~width:1 0);
+  Sim.force sim "y" (Bv.of_int ~width:1 1);
+  check_bv "force overrides driver" (Bv.of_int ~width:1 1) (Sim.get sim "y");
+  Sim.set sim "a" (Bv.of_int ~width:1 0);
+  check_bv "still forced" (Bv.of_int ~width:1 1) (Sim.get sim "y");
+  Sim.release sim "y";
+  check_bv "driver resumes" (Bv.of_int ~width:1 0) (Sim.get sim "y")
+
+let test_case_multiple_labels () =
+  let src =
+    {|
+module m (s, y);
+  input [1:0] s;
+  output y;
+  reg y;
+  always @(*) begin
+    case (s)
+      2'b00, 2'b11: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+  end
+endmodule
+|}
+  in
+  let sim = build src in
+  let try_ s expect =
+    Sim.set sim "s" (Bv.of_string s);
+    check_bv s (Bv.of_string expect) (Sim.get sim "y")
+  in
+  try_ "00" "1";
+  try_ "11" "1";
+  try_ "01" "0";
+  try_ "10" "0"
+
+let test_shift_operators () =
+  let src =
+    {|
+module m (v, n, l, r);
+  input [7:0] v;
+  input [2:0] n;
+  output [7:0] l;
+  output [7:0] r;
+  assign l = v << n;
+  assign r = v >> n;
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "v" (Bv.of_int ~width:8 0b10110011);
+  Sim.set sim "n" (Bv.of_int ~width:3 2);
+  check_bv "shl" (Bv.of_int ~width:8 0b11001100) (Sim.get sim "l");
+  check_bv "shr" (Bv.of_int ~width:8 0b00101100) (Sim.get sim "r")
+
+let test_arith_and_compare () =
+  let src =
+    {|
+module m (a, b, sum, diff, lt, ge);
+  input [7:0] a, b;
+  output [7:0] sum, diff;
+  output lt, ge;
+  assign sum = a + b;
+  assign diff = a - b;
+  assign lt = a < b;
+  assign ge = a >= b;
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "a" (Bv.of_int ~width:8 250);
+  Sim.set sim "b" (Bv.of_int ~width:8 10);
+  check_bv "sum wraps" (Bv.of_int ~width:8 4) (Sim.get sim "sum");
+  check_bv "diff" (Bv.of_int ~width:8 240) (Sim.get sim "diff");
+  check_bv "lt" (Bv.of_int ~width:1 0) (Sim.get sim "lt");
+  check_bv "ge" (Bv.of_int ~width:1 1) (Sim.get sim "ge")
+
+let test_x_propagation_through_if () =
+  (* An undefined condition takes the else branch (deterministic), so
+     a defined default wins over an x-guarded assignment. *)
+  let src =
+    {|
+module m (sel, y);
+  input sel;
+  output [1:0] y;
+  reg [1:0] y;
+  always @(*) begin
+    if (sel) y = 2'b11;
+    else y = 2'b01;
+  end
+endmodule
+|}
+  in
+  let sim = build src in
+  (* sel is x at power-up. *)
+  Sim.settle sim;
+  check_bv "x condition takes else" (Bv.of_string "01") (Sim.get sim "y")
+
+let test_inverter_loop_settles_x () =
+  (* The companion to the oscillation test: a pure inverter loop has
+     an X fixed point under 4-valued settling. *)
+  let src =
+    {|
+module m (y);
+  output y;
+  assign y = !y;
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.settle sim;
+  Alcotest.(check bool) "settles undefined" false
+    (Bv.is_defined (Sim.get sim "y"))
+
+let prop_sim_step_deterministic =
+  QCheck.Test.make ~name:"sim runs are reproducible" ~count:20
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 20) (int_bound 3)))
+    (fun inputs ->
+      let src =
+        {|
+module m (clk, rst, v, acc);
+  input clk, rst;
+  input [1:0] v;
+  output [7:0] acc;
+  reg [7:0] acc;
+  always @(posedge clk) begin
+    if (rst) acc <= 8'd0;
+    else acc <= acc + v;
+  end
+endmodule
+|}
+      in
+      let run () =
+        let sim = build src in
+        Sim.set sim "rst" (Bv.of_int ~width:1 1);
+        Sim.step sim "clk";
+        Sim.set sim "rst" (Bv.of_int ~width:1 0);
+        List.map
+          (fun v ->
+            Sim.set sim "v" (Bv.of_int ~width:2 v);
+            Sim.step sim "clk";
+            Bv.to_int_exn (Sim.get sim "acc"))
+          inputs
+      in
+      run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "part-select write" `Quick test_part_select_write;
+    Alcotest.test_case "concat lvalue" `Quick test_concat_lvalue;
+    Alcotest.test_case "dynamic index write" `Quick test_dynamic_index_write;
+    Alcotest.test_case "negedge processes" `Quick test_negedge;
+    Alcotest.test_case "three-level hierarchy" `Quick
+      test_three_level_hierarchy;
+    Alcotest.test_case "positional connections" `Quick
+      test_positional_connections;
+    Alcotest.test_case "expression port connection" `Quick
+      test_expression_port_connection;
+    Alcotest.test_case "force on driven wire" `Quick
+      test_force_on_driven_wire;
+    Alcotest.test_case "case with multiple labels" `Quick
+      test_case_multiple_labels;
+    Alcotest.test_case "shift operators" `Quick test_shift_operators;
+    Alcotest.test_case "arithmetic and comparison" `Quick
+      test_arith_and_compare;
+    Alcotest.test_case "x condition takes else" `Quick
+      test_x_propagation_through_if;
+    Alcotest.test_case "inverter loop settles x" `Quick
+      test_inverter_loop_settles_x;
+    QCheck_alcotest.to_alcotest prop_sim_step_deterministic;
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Parameters                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_parameters_basic () =
+  let src =
+    {|
+module m (clk, rst, count, full);
+  parameter WIDTH = 4;
+  parameter LIMIT = 4'd9, START = 4'd2;
+  input clk, rst;
+  output [WIDTH-1:0] count;
+  output full;
+  reg [WIDTH-1:0] count;
+  always @(posedge clk) begin
+    if (rst) count <= START;
+    else if (count != LIMIT) count <= count + 1;
+  end
+  assign full = count == LIMIT;
+endmodule
+|}
+  in
+  let sim = build src in
+  let elab = Sim.design sim in
+  Alcotest.(check int) "width from parameter" 4
+    (Elab.net elab "count").Elab.width;
+  Sim.set sim "rst" (Bv.of_int ~width:1 1);
+  Sim.step sim "clk";
+  Sim.set sim "rst" (Bv.of_int ~width:1 0);
+  check_bv "reset to START" (Bv.of_int ~width:4 2) (Sim.get sim "count");
+  for _ = 1 to 10 do
+    Sim.step sim "clk"
+  done;
+  check_bv "saturates at LIMIT" (Bv.of_int ~width:4 9) (Sim.get sim "count");
+  check_bv "full" (Bv.of_int ~width:1 1) (Sim.get sim "full")
+
+let test_parameters_in_case_and_repeat () =
+  let src =
+    {|
+module m (s, y, r);
+  parameter IDLE = 2'b00, BUSY = 2'b10;
+  parameter N = 3;
+  input [1:0] s;
+  output y;
+  output [5:0] r;
+  reg y;
+  always @(*) begin
+    case (s)
+      IDLE: y = 1'b0;
+      BUSY: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+  end
+  assign r = {N{s}};
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.set sim "s" (Bv.of_string "10");
+  check_bv "case on parameter" (Bv.of_int ~width:1 1) (Sim.get sim "y");
+  check_bv "parameterized replication" (Bv.of_string "101010")
+    (Sim.get sim "r")
+
+let test_parameter_expressions () =
+  let src =
+    {|
+module m (y);
+  parameter A = 3;
+  parameter B = A * 2 + 1;
+  output [B-1:0] y;
+  assign y = {B{1'b1}};
+endmodule
+|}
+  in
+  let sim = build src in
+  Sim.settle sim;
+  check_bv "derived width" (Bv.ones 7) (Sim.get sim "y")
+
+let test_parameter_scoping () =
+  (* Each module gets its own parameter namespace. *)
+  let src =
+    {|
+module a (y);
+  parameter K = 2;
+  output [K-1:0] y;
+  assign y = {K{1'b1}};
+endmodule
+
+module b (y);
+  parameter K = 5;
+  output [K-1:0] y;
+  assign y = {K{1'b1}};
+endmodule
+
+module top (ya, yb);
+  output [1:0] ya;
+  output [4:0] yb;
+  a ua (.y(ya));
+  b ub (.y(yb));
+endmodule
+|}
+  in
+  let sim = Sim.create (Elab.elaborate ~top:"top" (Parser.parse src)) in
+  Sim.settle sim;
+  check_bv "module a width" (Bv.ones 2) (Sim.get sim "ya");
+  check_bv "module b width" (Bv.ones 5) (Sim.get sim "yb")
+
+let test_parameter_errors () =
+  let expect_fail src =
+    match Parser.parse src with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.fail "expected parse error"
+  in
+  (* Non-constant parameter value. *)
+  expect_fail "module m (a, y); input a; output y; parameter K = a; \
+               assign y = a; endmodule";
+  (* Non-constant range bound. *)
+  expect_fail "module m (a, y); input a; output [a:0] y; endmodule"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "parameters basic" `Quick test_parameters_basic;
+      Alcotest.test_case "parameters in case and repeat" `Quick
+        test_parameters_in_case_and_repeat;
+      Alcotest.test_case "parameter expressions" `Quick
+        test_parameter_expressions;
+      Alcotest.test_case "parameter scoping" `Quick test_parameter_scoping;
+      Alcotest.test_case "parameter errors" `Quick test_parameter_errors;
+    ]

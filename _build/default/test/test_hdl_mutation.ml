@@ -1,0 +1,140 @@
+(* HDL-level bug-catching campaign: mutate the PP control Verilog,
+   regenerate nothing — the vectors come from the pristine model —
+   and replay them against the mutated device.  Every mutant diverges
+   from the predicted state sequence (or is an equivalent mutant),
+   which is step 4 of the methodology operating wholly at the HDL
+   level. *)
+
+open Avp_pp
+open Avp_fsm
+open Avp_enum
+open Avp_tour
+
+let substitute needle replacement src =
+  let nl = String.length needle in
+  let rec go i =
+    if i + nl > String.length src then
+      Alcotest.failf "mutation needle %S not found" needle
+    else if String.sub src i nl = needle then
+      String.sub src 0 i ^ replacement
+      ^ String.sub src (i + nl) (String.length src - i - nl)
+    else go (i + 1)
+  in
+  go 0
+
+(* The golden flow, built once. *)
+let golden = lazy (
+  let tr = Control_hdl.translate () in
+  let graph = State_graph.enumerate tr.Translate.model in
+  let tours = Tour_gen.generate graph in
+  (tr, graph, tours))
+
+let replay_mutant ~needle ~replacement =
+  let tr, graph, tours = Lazy.force golden in
+  let mutated = substitute needle replacement Control_hdl.source in
+  let dut = Avp_hdl.Elab.elaborate (Avp_hdl.Parser.parse mutated) in
+  Avp_vectors.Replay.check ~dut tr graph tours
+
+let expect_caught name ~needle ~replacement =
+  match replay_mutant ~needle ~replacement with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: mutant escaped the generated vectors" name
+
+let test_golden_passes () =
+  let tr, graph, tours = Lazy.force golden in
+  match Avp_vectors.Replay.check tr graph tours with
+  | Ok stats ->
+    Alcotest.(check bool) "covers cycles" true
+      (stats.Avp_vectors.Replay.cycles > 1000)
+  | Error m ->
+    Alcotest.failf "golden design diverged: %a"
+      Avp_vectors.Replay.pp_mismatch m
+
+let test_mutant_dropped_qualifier () =
+  (* Conflict detector loses the same_line qualification. *)
+  expect_caught "dropped same_line"
+    ~needle:
+      "assign conflicts = is_mem & store_pend & ((head == CLS_SD) | \
+       same_line);"
+    ~replacement:"assign conflicts = is_mem & store_pend;"
+
+let test_mutant_wrong_priority () =
+  (* I-refill no longer yields to a D-request on the handoff cycle —
+     the Bug #1 family. *)
+  expect_caught "port priority"
+    ~needle:
+      "R_REQ: if (!port_busy & mem_adv & !(drefill == R_REQ))\n          \
+       irefill <= R_FILL;"
+    ~replacement:"R_REQ: if (!port_busy & mem_adv) irefill <= R_FILL;"
+
+let test_mutant_stuck_state () =
+  (* The drain of the D-refill ignores mem_adv: a stuck-at-fast FSM. *)
+  expect_caught "ignores mem_adv"
+    ~needle:"R_FILL: if (mem_adv) drefill <= R_DONE;"
+    ~replacement:"R_FILL: drefill <= R_DONE;"
+
+let test_mutant_missing_spill_clear () =
+  expect_caught "spill never clears"
+    ~needle:"R_DONE: if (mem_adv) begin\n          drefill <= R_IDLE;\n          spill <= 1'b0;\n        end"
+    ~replacement:"R_DONE: if (mem_adv) begin\n          drefill <= R_IDLE;\n        end"
+
+let test_mutant_fixup_skipped () =
+  (* The fixup state collapses: irefill returns to idle straight from
+     fill — the Bug #4 family. *)
+  expect_caught "fixup skipped"
+    ~needle:"R_FILL: if (mem_adv) irefill <= R_DONE;"
+    ~replacement:"R_FILL: if (mem_adv) irefill <= R_IDLE;"
+
+let suite =
+  [
+    Alcotest.test_case "golden design passes" `Quick test_golden_passes;
+    Alcotest.test_case "mutant: dropped qualifier" `Quick
+      test_mutant_dropped_qualifier;
+    Alcotest.test_case "mutant: port priority" `Quick
+      test_mutant_wrong_priority;
+    Alcotest.test_case "mutant: stuck state" `Quick test_mutant_stuck_state;
+    Alcotest.test_case "mutant: spill never clears" `Quick
+      test_mutant_missing_spill_clear;
+    Alcotest.test_case "mutant: fixup skipped" `Quick
+      test_mutant_fixup_skipped;
+  ]
+
+let test_mutant_conflict_always () =
+  (* Conflict fires for loads even without a pending store. *)
+  expect_caught "conflict without store"
+    ~needle:
+      "assign conflicts = is_mem & store_pend & ((head == CLS_SD) | \
+       same_line);"
+    ~replacement:"assign conflicts = is_mem & ((head == CLS_SD) | same_line);"
+
+let test_mutant_store_never_pends () =
+  expect_caught "store never pends"
+    ~needle:"if (issue & (head == CLS_SD) & d_hit) store_pend <= 1'b1;"
+    ~replacement:"if (1'b0) store_pend <= 1'b1;"
+
+let test_mutant_ext_wait_ignored () =
+  (* send/switch never stall: the Inbox/Outbox back-pressure is lost. *)
+  expect_caught "external wait ignored"
+    ~needle:
+      "assign ext_wait = ((head == CLS_SWITCH) & !inbox_rdy)\n                  \
+       | ((head == CLS_SEND) & !outbox_rdy);"
+    ~replacement:"assign ext_wait = 1'b0;"
+
+let test_mutant_dirty_ignored () =
+  (* Fill-before-spill never parks a victim. *)
+  expect_caught "dirty victim ignored"
+    ~needle:"if (dirty) spill <= 1'b1;"
+    ~replacement:"if (1'b0) spill <= 1'b1;"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "mutant: conflict without store" `Quick
+        test_mutant_conflict_always;
+      Alcotest.test_case "mutant: store never pends" `Quick
+        test_mutant_store_never_pends;
+      Alcotest.test_case "mutant: external wait ignored" `Quick
+        test_mutant_ext_wait_ignored;
+      Alcotest.test_case "mutant: dirty ignored" `Quick
+        test_mutant_dirty_ignored;
+    ]

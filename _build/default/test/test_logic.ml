@@ -1,0 +1,192 @@
+open Avp_logic
+
+let bit = Alcotest.testable Bit.pp Bit.equal
+let bv = Alcotest.testable Bv.pp Bv.equal
+
+let check_bit = Alcotest.check bit
+let check_bv = Alcotest.check bv
+
+let test_bit_tables () =
+  check_bit "0 & x" Bit.L0 (Bit.logand Bit.L0 Bit.X);
+  check_bit "1 & z" Bit.X (Bit.logand Bit.L1 Bit.Z);
+  check_bit "1 | x" Bit.L1 (Bit.logor Bit.L1 Bit.X);
+  check_bit "0 | z" Bit.X (Bit.logor Bit.L0 Bit.Z);
+  check_bit "x ^ 1" Bit.X (Bit.logxor Bit.X Bit.L1);
+  check_bit "~z" Bit.X (Bit.lognot Bit.Z);
+  check_bit "~1" Bit.L0 (Bit.lognot Bit.L1)
+
+let test_bit_resolve () =
+  check_bit "z resolves away" Bit.L1 (Bit.resolve Bit.Z Bit.L1);
+  check_bit "conflict is x" Bit.X (Bit.resolve Bit.L0 Bit.L1);
+  check_bit "agree" Bit.L0 (Bit.resolve Bit.L0 Bit.L0);
+  check_bit "z z" Bit.Z (Bit.resolve Bit.Z Bit.Z)
+
+let test_bv_roundtrip () =
+  let v = Bv.of_int ~width:8 0xa5 in
+  Alcotest.(check (option int)) "to_int" (Some 0xa5) (Bv.to_int v);
+  Alcotest.(check string) "to_string" "10100101" (Bv.to_string v);
+  check_bv "of_string" v (Bv.of_string "1010_0101")
+
+let test_bv_undefined () =
+  let v = Bv.of_string "1x10" in
+  Alcotest.(check (option int)) "undefined to_int" None (Bv.to_int v);
+  Alcotest.(check bool) "is_defined" false (Bv.is_defined v);
+  check_bv "add poisons" (Bv.all_x 4) (Bv.add v (Bv.of_int ~width:4 1));
+  check_bit "eq poisons" Bit.X (Bv.eq v v);
+  check_bit "case_eq exact" Bit.L1 (Bv.case_eq v v)
+
+let test_bv_arith () =
+  let a = Bv.of_int ~width:8 200 and b = Bv.of_int ~width:8 100 in
+  Alcotest.(check (option int)) "add wraps" (Some 44) (Bv.to_int (Bv.add a b));
+  Alcotest.(check (option int)) "sub" (Some 100) (Bv.to_int (Bv.sub a b));
+  Alcotest.(check (option int)) "mul wraps"
+    (Some (200 * 100 mod 256))
+    (Bv.to_int (Bv.mul a b));
+  Alcotest.(check (option int)) "neg" (Some 56) (Bv.to_int (Bv.neg a));
+  check_bit "lt" Bit.L1 (Bv.lt b a);
+  check_bit "ge" Bit.L1 (Bv.ge a b);
+  check_bit "gt self" Bit.L0 (Bv.gt a a)
+
+let test_bv_shapes () =
+  let v = Bv.of_string "1100" in
+  check_bv "select" (Bv.of_string "10") (Bv.select v ~hi:2 ~lo:1);
+  check_bv "concat" (Bv.of_string "110010") (Bv.concat v (Bv.of_string "10"));
+  check_bv "repeat" (Bv.of_string "1010") (Bv.repeat 2 (Bv.of_string "10"));
+  check_bv "resize up" (Bv.of_string "001100") (Bv.resize v 6);
+  check_bv "resize down" (Bv.of_string "00") (Bv.resize v 2);
+  check_bv "shl" (Bv.of_string "1000") (Bv.shift_left v (Bv.of_int ~width:2 1));
+  check_bv "shr" (Bv.of_string "0110")
+    (Bv.shift_right v (Bv.of_int ~width:2 1))
+
+let test_bv_reduce () =
+  check_bit "reduce_or 0000" Bit.L0 (Bv.reduce_or (Bv.zero 4));
+  check_bit "reduce_or 0100" Bit.L1 (Bv.reduce_or (Bv.of_string "0100"));
+  check_bit "reduce_and 1111" Bit.L1 (Bv.reduce_and (Bv.ones 4));
+  check_bit "reduce_xor 0110" Bit.L0 (Bv.reduce_xor (Bv.of_string "0110"));
+  check_bit "reduce_or with x but a 1" Bit.L1
+    (Bv.reduce_or (Bv.of_string "1x00"));
+  Alcotest.(check (option bool))
+    "to_bool short-circuits x" (Some true)
+    (Bv.to_bool (Bv.of_string "1x"))
+
+let test_bv_resolve_mux () =
+  check_bv "bus resolution"
+    (Bv.of_string "1x0")
+    (Bv.resolve (Bv.of_string "1zz") (Bv.of_string "zx0"));
+  check_bv "mux defined" (Bv.of_string "01")
+    (Bv.mux ~sel:Bit.L1 (Bv.of_string "01") (Bv.of_string "10"));
+  check_bv "mux undefined select merges"
+    (Bv.of_string "x1")
+    (Bv.mux ~sel:Bit.X (Bv.of_string "01") (Bv.of_string "11"))
+
+(* Property-based checks. *)
+
+let arb_defined_bv width =
+  QCheck.map
+    (fun n -> Bv.of_int ~width n)
+    (QCheck.int_bound ((1 lsl width) - 1))
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add matches modular int arithmetic" ~count:500
+    (QCheck.pair (QCheck.int_bound 255) (QCheck.int_bound 255))
+    (fun (a, b) ->
+      let va = Bv.of_int ~width:8 a and vb = Bv.of_int ~width:8 b in
+      Bv.to_int (Bv.add va vb) = Some ((a + b) mod 256))
+
+let prop_sub_add_inverse =
+  QCheck.Test.make ~name:"sub then add round-trips" ~count:500
+    (QCheck.pair (QCheck.int_bound 255) (QCheck.int_bound 255))
+    (fun (a, b) ->
+      let va = Bv.of_int ~width:8 a and vb = Bv.of_int ~width:8 b in
+      Bv.equal (Bv.add (Bv.sub va vb) vb) va)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string/to_string round-trips" ~count:500
+    QCheck.(list_of_size (Gen.int_range 1 24) (oneofl [ '0'; '1'; 'x'; 'z' ]))
+    (fun chars ->
+      let s = String.init (List.length chars) (List.nth chars) in
+      String.equal (Bv.to_string (Bv.of_string s)) s)
+
+let prop_resolve_commutative =
+  QCheck.Test.make ~name:"resolve is commutative" ~count:500
+    (QCheck.pair (arb_defined_bv 6) (arb_defined_bv 6))
+    (fun (a, b) -> Bv.equal (Bv.resolve a b) (Bv.resolve b a))
+
+let prop_lt_total =
+  QCheck.Test.make ~name:"lt agrees with int comparison" ~count:500
+    (QCheck.pair (QCheck.int_bound 4095) (QCheck.int_bound 4095))
+    (fun (a, b) ->
+      let va = Bv.of_int ~width:12 a and vb = Bv.of_int ~width:12 b in
+      Bit.equal (Bv.lt va vb) (Bit.of_bool (a < b)))
+
+let suite =
+  [
+    Alcotest.test_case "bit truth tables" `Quick test_bit_tables;
+    Alcotest.test_case "bit resolution" `Quick test_bit_resolve;
+    Alcotest.test_case "bv round trips" `Quick test_bv_roundtrip;
+    Alcotest.test_case "bv undefined propagation" `Quick test_bv_undefined;
+    Alcotest.test_case "bv arithmetic" `Quick test_bv_arith;
+    Alcotest.test_case "bv structural ops" `Quick test_bv_shapes;
+    Alcotest.test_case "bv reductions" `Quick test_bv_reduce;
+    Alcotest.test_case "bv resolution and mux" `Quick test_bv_resolve_mux;
+    QCheck_alcotest.to_alcotest prop_add_matches_int;
+    QCheck_alcotest.to_alcotest prop_sub_add_inverse;
+    QCheck_alcotest.to_alcotest prop_string_roundtrip;
+    QCheck_alcotest.to_alcotest prop_resolve_commutative;
+    QCheck_alcotest.to_alcotest prop_lt_total;
+  ]
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul matches modular int arithmetic" ~count:300
+    (QCheck.pair (QCheck.int_bound 4095) (QCheck.int_bound 4095))
+    (fun (a, b) ->
+      let va = Bv.of_int ~width:12 a and vb = Bv.of_int ~width:12 b in
+      Bv.to_int (Bv.mul va vb) = Some (a * b mod 4096))
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~name:"shl then shr recovers the low bits" ~count:300
+    (QCheck.pair (QCheck.int_bound 255) (QCheck.int_bound 3))
+    (fun (v, n) ->
+      let bv = Bv.of_int ~width:8 v in
+      let amt = Bv.of_int ~width:2 n in
+      let back = Bv.shift_right (Bv.shift_left bv amt) amt in
+      Bv.to_int back = Some (v land ((1 lsl (8 - n)) - 1)))
+
+let prop_concat_select_inverse =
+  QCheck.Test.make ~name:"select undoes concat" ~count:300
+    (QCheck.pair (QCheck.int_bound 255) (QCheck.int_bound 15))
+    (fun (hi, lo) ->
+      let vhi = Bv.of_int ~width:8 hi and vlo = Bv.of_int ~width:4 lo in
+      let cat = Bv.concat vhi vlo in
+      Bv.equal (Bv.select cat ~hi:11 ~lo:4) vhi
+      && Bv.equal (Bv.select cat ~hi:3 ~lo:0) vlo)
+
+let prop_resolve_associative =
+  QCheck.Test.make ~name:"resolve is associative" ~count:300
+    (QCheck.triple
+       (QCheck.oneofl [ "0"; "1"; "x"; "z" ])
+       (QCheck.oneofl [ "0"; "1"; "x"; "z" ])
+       (QCheck.oneofl [ "0"; "1"; "x"; "z" ]))
+    (fun (a, b, c) ->
+      let va = Bv.of_string a and vb = Bv.of_string b
+      and vc = Bv.of_string c in
+      Bv.equal
+        (Bv.resolve (Bv.resolve va vb) vc)
+        (Bv.resolve va (Bv.resolve vb vc)))
+
+let prop_neg_involution =
+  QCheck.Test.make ~name:"neg is an involution" ~count:300
+    (QCheck.int_bound 65535)
+    (fun v ->
+      let bv = Bv.of_int ~width:16 v in
+      Bv.equal (Bv.neg (Bv.neg bv)) bv)
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_mul_matches_int;
+      QCheck_alcotest.to_alcotest prop_shift_roundtrip;
+      QCheck_alcotest.to_alcotest prop_concat_select_inverse;
+      QCheck_alcotest.to_alcotest prop_resolve_associative;
+      QCheck_alcotest.to_alcotest prop_neg_involution;
+    ]

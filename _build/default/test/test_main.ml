@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "avp"
+    [
+      ("logic", Test_logic.suite);
+      ("hdl", Test_hdl.suite);
+      ("hdl2", Test_hdl2.suite);
+      ("expr-fuzz", Test_expr_fuzz.suite);
+      ("sml", Test_sml.suite);
+      ("hdl-mutation", Test_hdl_mutation.suite);
+      ("core", Test_core.suite);
+      ("fsm", Test_fsm.suite);
+      ("enum", Test_enum.suite);
+      ("tour", Test_tour.suite);
+      ("pp", Test_pp.suite);
+      ("control", Test_control.suite);
+      ("harness", Test_harness.suite);
+      ("ext", Test_ext.suite);
+      ("pp2", Test_pp2.suite);
+    ]

@@ -1,0 +1,422 @@
+open Avp_pp
+open Avp_harness
+
+let verdict_is_match = function Compare.Match -> true | Compare.Mismatch _ -> false
+
+let check_match name v =
+  match v with
+  | Compare.Match -> ()
+  | Compare.Mismatch _ as m ->
+    Alcotest.failf "%s: %a" name Compare.pp_verdict m
+
+let check_mismatch name v =
+  if verdict_is_match v then Alcotest.failf "%s: expected a mismatch" name
+
+(* ---------------------------------------------------------------- *)
+(* ISA                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let sample_instrs =
+  [
+    Isa.Nop;
+    Isa.Halt;
+    Isa.Alu (Isa.Add, 1, 2, 3);
+    Isa.Alu (Isa.Slt, 31, 30, 29);
+    Isa.Alui (Isa.Xor, 5, 6, -7);
+    Isa.Alui (Isa.Add, 1, 0, 32767);
+    Isa.Lw (4, 5, -100);
+    Isa.Sw (6, 7, 200);
+    Isa.Beq (1, 2, -4);
+    Isa.Bne (3, 4, 10);
+    Isa.Send 9;
+    Isa.Switch 10;
+  ]
+
+let test_encode_roundtrip () =
+  List.iter
+    (fun i ->
+      match Isa.decode (Isa.encode i) with
+      | Some i' when Isa.equal i i' -> ()
+      | Some i' ->
+        Alcotest.failf "roundtrip %a -> %a" Isa.pp i Isa.pp i'
+      | None -> Alcotest.failf "decode failed for %a" Isa.pp i)
+    sample_instrs
+
+let test_classify () =
+  Alcotest.(check string) "branch is ALU class" "ALU"
+    (Isa.class_name (Isa.classify (Isa.Beq (1, 2, 3))));
+  Alcotest.(check string) "load" "LD"
+    (Isa.class_name (Isa.classify (Isa.Lw (1, 0, 0))));
+  Alcotest.(check string) "store" "SD"
+    (Isa.class_name (Isa.classify (Isa.Sw (1, 0, 0))));
+  Alcotest.(check string) "switch" "SWITCH"
+    (Isa.class_name (Isa.classify (Isa.Switch 1)));
+  Alcotest.(check string) "send" "SEND"
+    (Isa.class_name (Isa.classify (Isa.Send 1)))
+
+let prop_decode_total =
+  QCheck.Test.make ~name:"random classes produce their own class" ~count:200
+    (QCheck.make
+       QCheck.Gen.(pair (oneofl Isa.all_classes) (int_bound 1000)))
+    (fun (cls, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let i = Isa.random_of_class rng cls ~addr:(fun () -> 16) in
+      Isa.classify i = cls
+      && match Isa.decode (Isa.encode i) with
+         | Some i' -> Isa.equal i i'
+         | None -> false)
+
+(* ---------------------------------------------------------------- *)
+(* Spec simulator                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let test_spec_alu_program () =
+  let program =
+    [|
+      Isa.Alui (Isa.Add, 1, 0, 5);
+      Isa.Alui (Isa.Add, 2, 0, 7);
+      Isa.Alu (Isa.Add, 3, 1, 2);
+      Isa.Alu (Isa.Sub, 4, 3, 1);
+      Isa.Halt;
+    |]
+  in
+  let s = Spec.create ~program ~inbox:[] () in
+  Spec.run s;
+  Alcotest.(check int) "r3" 12 (Spec.reg s 3);
+  Alcotest.(check int) "r4" 7 (Spec.reg s 4);
+  Alcotest.(check bool) "halted" true (Spec.halted s)
+
+let test_spec_memory_and_branch () =
+  let program =
+    [|
+      Isa.Alui (Isa.Add, 1, 0, 42);
+      Isa.Sw (1, 0, 100);
+      Isa.Lw (2, 0, 100);
+      Isa.Beq (1, 2, 1);  (* taken: skip the poison *)
+      Isa.Alui (Isa.Add, 3, 0, 999);
+      Isa.Halt;
+    |]
+  in
+  let s = Spec.create ~program ~inbox:[] () in
+  Spec.run s;
+  Alcotest.(check int) "loaded" 42 (Spec.reg s 2);
+  Alcotest.(check int) "branch skipped write" 0 (Spec.reg s 3);
+  Alcotest.(check int) "memory" 42 (Spec.mem_word s 100)
+
+let test_spec_send_switch () =
+  let program =
+    [| Isa.Switch 1; Isa.Switch 2; Isa.Send 1; Isa.Send 2; Isa.Halt |]
+  in
+  let s = Spec.create ~program ~inbox:[ 11; 22 ] () in
+  Spec.run s;
+  Alcotest.(check (list int)) "outbox" [ 11; 22 ] (Spec.outbox s);
+  Alcotest.(check bool) "no underflow" false (Spec.inbox_underflow s)
+
+let test_spec_inbox_underflow () =
+  let s = Spec.create ~program:[| Isa.Switch 1; Isa.Halt |] ~inbox:[] () in
+  Spec.run s;
+  Alcotest.(check bool) "underflow flagged" true (Spec.inbox_underflow s)
+
+(* ---------------------------------------------------------------- *)
+(* RTL vs spec equivalence (bug-free)                               *)
+(* ---------------------------------------------------------------- *)
+
+let alu_heavy_program =
+  [|
+    Isa.Alui (Isa.Add, 1, 0, 3);
+    Isa.Alui (Isa.Add, 2, 0, 4);
+    Isa.Alu (Isa.Add, 3, 1, 2);
+    Isa.Alu (Isa.Xor, 4, 3, 1);
+    Isa.Alu (Isa.Slt, 5, 1, 2);
+    Isa.Alui (Isa.Sub, 6, 3, 1);
+    Isa.Halt;
+  |]
+
+let test_rtl_matches_spec_alu () =
+  check_match "alu" (Compare.run ~program:alu_heavy_program ~inbox:[] ())
+
+let memory_program =
+  (* Touches several lines, forces misses, dirty evictions (4 sets x 2
+     ways x 4 words: lines 0,4,8 map to set 0), and a same-line
+     store-load pair. *)
+  [|
+    Isa.Alui (Isa.Add, 1, 0, 0xAA);
+    Isa.Sw (1, 0, 0);          (* line 0, miss, then dirty *)
+    Isa.Lw (2, 0, 1);          (* line 0 hit *)
+    Isa.Alui (Isa.Add, 3, 0, 0xBB);
+    Isa.Sw (3, 0, 16);         (* line 4 -> set 0 way 1, miss, dirty *)
+    Isa.Lw (4, 0, 32);         (* line 8 -> set 0, evicts a dirty line *)
+    Isa.Lw (5, 0, 0);          (* may re-miss: spilled line *)
+    Isa.Sw (5, 0, 33);         (* store to a present line *)
+    Isa.Lw (6, 0, 33);         (* same-line load: conflict stall *)
+    Isa.Halt;
+  |]
+
+let test_rtl_matches_spec_memory () =
+  check_match "memory"
+    (Compare.run
+       ~mem_init:[ (1, 7); (32, 5); (33, 6) ]
+       ~program:memory_program ~inbox:[] ())
+
+let iface_program =
+  [|
+    Isa.Switch 1;
+    Isa.Alui (Isa.Add, 2, 1, 1);
+    Isa.Send 2;
+    Isa.Switch 3;
+    Isa.Send 3;
+    Isa.Halt;
+  |]
+
+let test_rtl_matches_spec_interfaces () =
+  (* Inbox/Outbox intermittently unready: stalls delay but cannot
+     change results. *)
+  let ready c = (c mod 3 <> 0, c mod 5 <> 0) in
+  check_match "interfaces"
+    (Compare.run ~ready ~program:iface_program ~inbox:[ 100; 200 ] ())
+
+let test_rtl_dual_issue_pairs () =
+  (* Two independent ALU ops should retire in one cycle; check the
+     cycle count is below the scalar bound. *)
+  let program =
+    Array.append
+      (Array.concat
+         (List.init 8 (fun i ->
+              [|
+                Isa.Alui (Isa.Add, 1, 0, i);
+                Isa.Alui (Isa.Add, 2, 0, i + 100);
+              |])))
+      [| Isa.Halt |]
+  in
+  let rtl = Rtl.create ~program ~inbox:[] () in
+  Rtl.run rtl;
+  Alcotest.(check bool) "halted" true (Rtl.halted rtl);
+  Alcotest.(check int) "retired all" 17 (Rtl.instructions_retired rtl)
+
+let prop_random_programs_match =
+  (* Random class streams with biased-random fill, random stall
+     schedules: a bug-free RTL always matches the spec. *)
+  let gen =
+    QCheck.Gen.(
+      let* len = int_range 5 40 in
+      let* classes = list_size (return len) (oneofl Isa.all_classes) in
+      let* seed = int_bound 10000 in
+      let* stall_mask = int_bound 7 in
+      return (classes, seed, stall_mask))
+  in
+  QCheck.Test.make ~name:"random programs: bug-free rtl matches spec"
+    ~count:150 (QCheck.make gen)
+    (fun (classes, seed, stall_mask) ->
+      let rng = Random.State.make [| seed |] in
+      let addr () = Random.State.int rng 64 in
+      let program =
+        Array.of_list
+          (List.map (fun c -> Isa.random_of_class rng c ~addr) classes
+           @ [ Isa.Halt ])
+      in
+      let inbox = List.init 64 (fun i -> 1000 + i) in
+      let ready c =
+        ( (stall_mask land 1 = 0) || c mod 3 <> 1,
+          (stall_mask land 2 = 0) || c mod 4 <> 2 )
+      in
+      verdict_is_match (Compare.run ~ready ~program ~inbox ()))
+
+(* ---------------------------------------------------------------- *)
+(* Directed bug scenarios                                           *)
+(* ---------------------------------------------------------------- *)
+
+let with_bug id =
+  { Rtl.default_config with Rtl.bugs = Bugs.only id }
+
+(* Bug 1: I-refill requested while the D-side owns the memory port. *)
+let bug1_program =
+  [|
+    (* line 0 of the I-cache: pc 0..3 *)
+    Isa.Alui (Isa.Add, 2, 0, 7);
+    Isa.Nop;
+    Isa.Lw (3, 0, 40);  (* D-miss: refill takes the port *)
+    Isa.Nop;
+    (* line 1: pc 4..7 — fetched while the D-refill is active *)
+    Isa.Alui (Isa.Add, 4, 0, 9);
+    Isa.Alu (Isa.Add, 5, 4, 2);
+    Isa.Nop;
+    Isa.Halt;
+  |]
+
+let test_bug1 () =
+  let run config =
+    Compare.run ~config ~mem_init:[ (40, 123) ] ~program:bug1_program
+      ~inbox:[] ()
+  in
+  check_match "bug1 off" (run Rtl.default_config);
+  check_mismatch "bug1 on" (run (with_bug Bugs.Bug1))
+
+(* Bug 2: D critical word delivered while an I-stall is pending. *)
+let test_bug2 () =
+  let run config =
+    Compare.run ~config ~mem_init:[ (40, 123) ] ~program:bug1_program
+      ~inbox:[] ()
+  in
+  check_match "bug2 off" (run Rtl.default_config);
+  check_mismatch "bug2 on" (run (with_bug Bugs.Bug2))
+
+(* Bug 3: conflict-stalled load followed by a load/store to a
+   different address. *)
+let bug3_program =
+  (* The store, the conflicting load and its follower all sit in the
+     second I-cache line (pc 4..7), so they are adjacent in the fetch
+     queue when the conflict stall hits. *)
+  [|
+    Isa.Alui (Isa.Add, 1, 0, 0x55);
+    Isa.Lw (7, 0, 0);   (* warm data line 0 *)
+    Isa.Lw (8, 0, 8);   (* warm data line 2 *)
+    Isa.Nop;
+    Isa.Sw (1, 0, 1);   (* split store to line 0 *)
+    Isa.Lw (2, 0, 1);   (* same-line load: conflict stall *)
+    Isa.Lw (3, 0, 9);   (* follower load, different line *)
+    Isa.Halt;
+  |]
+
+let test_bug3 () =
+  let run config =
+    Compare.run ~config
+      ~mem_init:[ (0, 10); (1, 11); (8, 30); (9, 31) ]
+      ~program:bug3_program ~inbox:[] ()
+  in
+  check_match "bug3 off" (run Rtl.default_config);
+  check_mismatch "bug3 on" (run (with_bug Bugs.Bug3))
+
+(* Bug 4: I-stall arising while an external stall is held. *)
+let test_bug4 () =
+  (* The switch sits at the end of I-line 0, so fetch crosses into the
+     cold line 1 while the external stall is held. *)
+  let program =
+    [|
+      Isa.Nop;
+      Isa.Nop;
+      Isa.Nop;
+      Isa.Switch 1;
+      Isa.Alui (Isa.Add, 2, 0, 55);
+      Isa.Alui (Isa.Add, 3, 0, 66);
+      Isa.Send 2;
+      Isa.Halt;
+    |]
+  in
+  let ready c = (c > 18, true) in
+  let run config =
+    Compare.run ~config ~ready ~program ~inbox:[ 77 ] ()
+  in
+  check_match "bug4 off" (run Rtl.default_config);
+  check_mismatch "bug4 on" (run (with_bug Bugs.Bug4))
+
+(* Bug 5: load miss, following load/store, external stall inside the
+   rewrite window. *)
+let test_bug5 () =
+  let program =
+    [|
+      Isa.Lw (2, 0, 40);   (* D-miss with critical-word restart *)
+      Isa.Lw (3, 0, 41);   (* following load: opens the glitch window *)
+      Isa.Send 2;          (* send waiting in the window *)
+      Isa.Halt;
+    |]
+  in
+  (* The Outbox is busy exactly while the refill completes, asserting
+     the external stall wire inside the window; it recovers later so
+     the program still finishes. *)
+  let ready_recover c = (true, c > 30) in
+  let run config =
+    Compare.run ~config ~ready:ready_recover ~mem_init:[ (40, 123); (41, 124) ]
+      ~program ~inbox:[] ()
+  in
+  check_match "bug5 off" (run Rtl.default_config);
+  check_mismatch "bug5 on" (run (with_bug Bugs.Bug5))
+
+(* Bug 6: conflict stall with D-cache hit and simultaneous I-stall. *)
+let test_bug6 () =
+  let program =
+    [|
+      (* line 0: pc 0..3 *)
+      Isa.Alui (Isa.Add, 1, 0, 0x77);
+      Isa.Lw (7, 0, 0);   (* warm data line 0 *)
+      Isa.Sw (1, 0, 1);   (* split store to line 0 *)
+      Isa.Lw (2, 0, 1);   (* conflict-stalled same-line load *)
+      (* line 1: cold I-line — fetching it raises the I-stall *)
+      Isa.Alu (Isa.Add, 3, 2, 1);
+      Isa.Send 3;
+      Isa.Halt;
+    |]
+  in
+  let run config =
+    Compare.run ~config ~mem_init:[ (0, 5); (1, 6) ] ~program ~inbox:[] ()
+  in
+  check_match "bug6 off" (run Rtl.default_config);
+  check_mismatch "bug6 on" (run (with_bug Bugs.Bug6))
+
+(* With all bugs off, the directed scenarios all match (already
+   asserted), and enabling one bug never breaks an unrelated
+   scenario's detectability story: each bug needs its conjunction. *)
+let test_bug5_needs_external_stall () =
+  let program =
+    [|
+      Isa.Lw (2, 0, 40);
+      Isa.Lw (3, 0, 41);
+      Isa.Send 2;
+      Isa.Halt;
+    |]
+  in
+  (* Outbox always ready: no external stall, the glitch is masked. *)
+  check_match "bug5 masked"
+    (Compare.run ~config:(with_bug Bugs.Bug5)
+       ~mem_init:[ (40, 123); (41, 124) ]
+       ~program ~inbox:[] ())
+
+let test_bug6_needs_istall () =
+  (* The conflict happens just after I-line 1 was refilled, with the
+     rest of the program inside that line: no simultaneous I-stall, so
+     the stale-data path cannot fire. *)
+  let program =
+    [|
+      Isa.Alui (Isa.Add, 1, 0, 0x77);
+      Isa.Lw (7, 0, 0);
+      Isa.Nop;
+      Isa.Nop;
+      Isa.Sw (1, 0, 1);
+      Isa.Lw (2, 0, 1);
+      Isa.Nop;
+      Isa.Halt;
+    |]
+  in
+  check_match "bug6 masked"
+    (Compare.run ~config:(with_bug Bugs.Bug6) ~mem_init:[ (0, 5); (1, 6) ]
+       ~program ~inbox:[] ())
+
+let suite =
+  [
+    Alcotest.test_case "isa encode roundtrip" `Quick test_encode_roundtrip;
+    Alcotest.test_case "isa classes" `Quick test_classify;
+    QCheck_alcotest.to_alcotest prop_decode_total;
+    Alcotest.test_case "spec alu program" `Quick test_spec_alu_program;
+    Alcotest.test_case "spec memory and branch" `Quick
+      test_spec_memory_and_branch;
+    Alcotest.test_case "spec send/switch" `Quick test_spec_send_switch;
+    Alcotest.test_case "spec inbox underflow" `Quick
+      test_spec_inbox_underflow;
+    Alcotest.test_case "rtl matches spec: alu" `Quick
+      test_rtl_matches_spec_alu;
+    Alcotest.test_case "rtl matches spec: memory" `Quick
+      test_rtl_matches_spec_memory;
+    Alcotest.test_case "rtl matches spec: interfaces" `Quick
+      test_rtl_matches_spec_interfaces;
+    Alcotest.test_case "rtl dual issue" `Quick test_rtl_dual_issue_pairs;
+    QCheck_alcotest.to_alcotest prop_random_programs_match;
+    Alcotest.test_case "bug 1 detected" `Quick test_bug1;
+    Alcotest.test_case "bug 2 detected" `Quick test_bug2;
+    Alcotest.test_case "bug 3 detected" `Quick test_bug3;
+    Alcotest.test_case "bug 4 detected" `Quick test_bug4;
+    Alcotest.test_case "bug 5 detected" `Quick test_bug5;
+    Alcotest.test_case "bug 6 detected" `Quick test_bug6;
+    Alcotest.test_case "bug 5 masked without external stall" `Quick
+      test_bug5_needs_external_stall;
+    Alcotest.test_case "bug 6 masked without i-stall" `Quick
+      test_bug6_needs_istall;
+  ]

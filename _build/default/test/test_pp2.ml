@@ -1,0 +1,301 @@
+(* Second round of Protocol Processor tests: branch-heavy programs
+   through the assembler, RTL timing properties, and configuration
+   variations. *)
+
+open Avp_pp
+open Avp_harness
+
+let check_match name v =
+  match v with
+  | Compare.Match -> ()
+  | Compare.Mismatch _ as m ->
+    Alcotest.failf "%s: %a" name Compare.pp_verdict m
+
+let test_loop_program () =
+  let program =
+    Asm.assemble
+      {|
+        addi r1, r0, 5      ; counter
+        addi r2, r0, 0      ; accumulator
+      loop:
+        add  r2, r2, r1
+        subi r1, r1, 1
+        bne  r1, r0, loop
+        sw   r2, 32(r0)
+        lw   r3, 32(r0)
+        send r3
+        halt
+      |}
+  in
+  check_match "loop" (Compare.run ~program ~inbox:[] ());
+  let s = Spec.create ~program ~inbox:[] () in
+  Spec.run s;
+  Alcotest.(check (list int)) "sum 5..1" [ 15 ] (Spec.outbox s)
+
+let test_branch_into_warm_icache () =
+  (* The loop body stays in one I-line after the first pass: later
+     iterations run without I-stalls, and results still match. *)
+  let program =
+    Asm.assemble
+      {|
+        addi r1, r0, 12
+      loop:
+        lw   r2, 0(r0)
+        sw   r2, 1(r0)
+        subi r1, r1, 1
+        bne  r1, r0, loop
+        halt
+      |}
+  in
+  check_match "warm loop"
+    (Compare.run ~mem_init:[ (0, 0x99) ] ~program ~inbox:[] ())
+
+let test_branch_not_taken_flushes_nothing () =
+  let program =
+    Asm.assemble
+      {|
+        addi r1, r0, 1
+        beq  r1, r0, skip
+        addi r2, r0, 42
+      skip:
+        addi r3, r0, 7
+        halt
+      |}
+  in
+  check_match "not taken" (Compare.run ~program ~inbox:[] ());
+  let rtl = Rtl.create ~program ~inbox:[] () in
+  Rtl.run rtl;
+  Alcotest.(check int) "fallthrough executed" 42 (Rtl.reg rtl 2);
+  Alcotest.(check int) "after label" 7 (Rtl.reg rtl 3)
+
+let test_taken_branch_squashes () =
+  let program =
+    Asm.assemble
+      {|
+        beq  r0, r0, skip
+        addi r2, r0, 42     ; must be squashed
+        addi r4, r0, 43     ; must be squashed
+      skip:
+        addi r3, r0, 7
+        halt
+      |}
+  in
+  check_match "taken" (Compare.run ~program ~inbox:[] ());
+  let rtl = Rtl.create ~program ~inbox:[] () in
+  Rtl.run rtl;
+  Alcotest.(check int) "squashed instr did not execute" 0 (Rtl.reg rtl 2);
+  Alcotest.(check int) "squashed second instr" 0 (Rtl.reg rtl 4);
+  Alcotest.(check int) "target executed" 7 (Rtl.reg rtl 3)
+
+let prop_random_loops_match =
+  (* Structured random programs with a loop: body of random memory and
+     interface operations repeated a few times. *)
+  QCheck.Test.make ~name:"random loop programs: rtl matches spec" ~count:60
+    (QCheck.make QCheck.Gen.(pair (int_bound 5000) (int_range 1 5)))
+    (fun (seed, iters) ->
+      let rng = Random.State.make [| seed |] in
+      let addr () = Random.State.int rng 48 in
+      let body_len = 3 + Random.State.int rng 8 in
+      let body =
+        List.init body_len (fun _ ->
+            let cls =
+              List.nth [ Isa.ALU; Isa.LD; Isa.SD; Isa.SEND ]
+                (Random.State.int rng 4)
+            in
+            Isa.random_of_class rng cls ~addr)
+      in
+      (* r15 is the loop counter; the body never touches it because
+         random_of_class uses r1..r7. *)
+      let program =
+        Array.of_list
+          ((Isa.Alui (Isa.Add, 15, 0, iters) :: body)
+          @ [
+              Isa.Alui (Isa.Sub, 15, 15, 1);
+              Isa.Bne (15, 0, -(body_len + 2));
+              Isa.Halt;
+            ])
+      in
+      let ready c = (c mod 5 <> 0, c mod 7 <> 1) in
+      match Compare.run ~ready ~program ~inbox:[] () with
+      | Compare.Match -> true
+      | Compare.Mismatch _ -> false)
+
+(* ---------------------------------------------------------------- *)
+(* Configuration variations                                         *)
+(* ---------------------------------------------------------------- *)
+
+let memory_exerciser =
+  Asm.assemble
+    {|
+      addi r1, r0, 17
+      sw   r1, 0(r0)
+      lw   r2, 16(r0)
+      sw   r2, 32(r0)
+      lw   r3, 0(r0)
+      lw   r4, 48(r0)
+      sw   r4, 1(r0)
+      lw   r5, 1(r0)
+      halt
+    |}
+
+let test_config_sweep () =
+  List.iter
+    (fun (name, config) ->
+      check_match name
+        (Compare.run ~config
+           ~mem_init:[ (16, 5); (48, 9) ]
+           ~program:memory_exerciser ~inbox:[] ()))
+    [
+      ("tiny caches",
+       { Rtl.default_config with Rtl.dcache_sets = 1; Rtl.icache_lines = 1 });
+      ("big lines", { Rtl.default_config with Rtl.line_words = 8 });
+      ("slow memory", { Rtl.default_config with Rtl.mem_latency = 7 });
+      ("deep fetch", { Rtl.default_config with Rtl.fetch_buffer = 4 });
+      ("single word lines", { Rtl.default_config with Rtl.line_words = 1 });
+    ]
+
+let test_stall_storm () =
+  (* Everything unready most of the time: progress is slow but results
+     still match and the machine does not deadlock. *)
+  let program =
+    Asm.assemble
+      "switch r1\nsend r1\nswitch r2\nsend r2\nlw r3, 0(r0)\nsend r3\nhalt"
+  in
+  let ready c = (c mod 11 = 0, c mod 13 = 0) in
+  check_match "stall storm"
+    (Compare.run ~ready ~mem_init:[ (0, 3) ] ~program ~inbox:[ 7; 8 ] ());
+  let rtl = Rtl.create ~program ~inbox:[ 7; 8 ] () in
+  Rtl.run ~max_cycles:5_000 ~ready rtl;
+  Alcotest.(check bool) "completed despite stalls" true (Rtl.halted rtl)
+
+let test_cycle_counts_reasonable () =
+  (* An all-ALU program should retire near 2 instructions per cycle
+     (dual issue); a miss-heavy program should be much slower. *)
+  let alu =
+    Array.append
+      (Array.init 40 (fun i -> Isa.Alui (Isa.Add, 1 + (i mod 2), 0, i)))
+      [| Isa.Halt |]
+  in
+  let rtl = Rtl.create ~program:alu ~inbox:[] () in
+  Rtl.run rtl;
+  let alu_cycles = Rtl.cycle rtl in
+  let missy =
+    Array.append
+      (Array.init 40 (fun i -> Isa.Lw (1, 0, i * 4)))
+      [| Isa.Halt |]
+  in
+  let rtl2 = Rtl.create ~program:missy ~inbox:[] () in
+  Rtl.run rtl2;
+  Alcotest.(check bool) "misses cost cycles" true
+    (Rtl.cycle rtl2 > 2 * alu_cycles)
+
+let test_spill_buffer_coherence () =
+  (* Dirty victim parked in the spill buffer must be visible to a
+     reload that arrives before the write-back completes. *)
+  let program =
+    Asm.assemble
+      {|
+        addi r1, r0, 111
+        sw   r1, 0(r0)     ; line 0 dirty
+        lw   r2, 16(r0)    ; line 4, same set: spills line 0
+        lw   r3, 0(r0)     ; immediate reload of the spilled line
+        halt
+      |}
+  in
+  check_match "spill coherence"
+    (Compare.run ~mem_init:[ (16, 5) ] ~program ~inbox:[] ());
+  let rtl = Rtl.create ~mem_init:[ (16, 5) ] ~program ~inbox:[] () in
+  Rtl.run rtl;
+  Alcotest.(check int) "store survived the spill" 111 (Rtl.reg rtl 3)
+
+let test_effects_order_preserved () =
+  let program =
+    Asm.assemble
+      {|
+        addi r1, r0, 1
+        addi r2, r0, 2
+        sw   r1, 0(r0)
+        sw   r2, 4(r0)
+        sw   r1, 8(r0)
+        halt
+      |}
+  in
+  let rtl = Rtl.create ~program ~inbox:[] () in
+  Rtl.run rtl;
+  let mems =
+    List.filter_map
+      (function Spec.Mem_write (a, v) -> Some (a, v) | _ -> None)
+      (Rtl.effects rtl)
+  in
+  Alcotest.(check (list (pair int int)))
+    "stores in program order"
+    [ (0, 1); (4, 2); (8, 1) ]
+    mems
+
+let suite =
+  [
+    Alcotest.test_case "loop program" `Quick test_loop_program;
+    Alcotest.test_case "branch into warm icache" `Quick
+      test_branch_into_warm_icache;
+    Alcotest.test_case "branch not taken" `Quick
+      test_branch_not_taken_flushes_nothing;
+    Alcotest.test_case "taken branch squashes" `Quick
+      test_taken_branch_squashes;
+    QCheck_alcotest.to_alcotest prop_random_loops_match;
+    Alcotest.test_case "config sweep" `Quick test_config_sweep;
+    Alcotest.test_case "stall storm" `Quick test_stall_storm;
+    Alcotest.test_case "cycle counts reasonable" `Quick
+      test_cycle_counts_reasonable;
+    Alcotest.test_case "spill buffer coherence" `Quick
+      test_spill_buffer_coherence;
+    Alcotest.test_case "effects order preserved" `Quick
+      test_effects_order_preserved;
+  ]
+
+let test_inbox_underflow_equivalence () =
+  (* A switch with an empty Inbox reads 0 in both models (the spec
+     flags the underflow so the harness can provision data). *)
+  let program = Asm.assemble "switch r1\naddi r2, r1, 1\nhalt" in
+  check_match "underflow" (Compare.run ~program ~inbox:[] ());
+  let rtl = Rtl.create ~program ~inbox:[] () in
+  Rtl.run rtl;
+  Alcotest.(check int) "rtl read zero" 1 (Rtl.reg rtl 2)
+
+let test_branch_to_program_end () =
+  (* Branching past the last instruction halts cleanly. *)
+  let program = Asm.assemble "beq r0, r0, 2\nnop\nnop" in
+  let rtl = Rtl.create ~program ~inbox:[] () in
+  Rtl.run ~max_cycles:200 rtl;
+  Alcotest.(check bool) "halted off the end" true (Rtl.halted rtl)
+
+let test_backward_branch_to_zero () =
+  let program =
+    Asm.assemble
+      "addi r1, r1, 1\nslti r2, r1, 3\nbne r2, r0, -3\nsend r1\nhalt"
+  in
+  check_match "loop to pc 0" (Compare.run ~program ~inbox:[] ());
+  let s = Spec.create ~program ~inbox:[] () in
+  Spec.run s;
+  Alcotest.(check (list int)) "counted to 3" [ 3 ] (Spec.outbox s)
+
+let test_r0_never_written () =
+  let program =
+    Asm.assemble "addi r0, r0, 99\nlw r0, 0(r0)\nswitch r0\nhalt"
+  in
+  let rtl = Rtl.create ~mem_init:[ (0, 5) ] ~program ~inbox:[ 7 ] () in
+  Rtl.run rtl;
+  Alcotest.(check int) "r0 stays zero" 0 (Rtl.reg rtl 0);
+  check_match "r0 equivalence"
+    (Compare.run ~mem_init:[ (0, 5) ] ~program ~inbox:[ 7 ] ())
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "inbox underflow equivalence" `Quick
+        test_inbox_underflow_equivalence;
+      Alcotest.test_case "branch to program end" `Quick
+        test_branch_to_program_end;
+      Alcotest.test_case "backward branch to zero" `Quick
+        test_backward_branch_to_zero;
+      Alcotest.test_case "r0 never written" `Quick test_r0_never_written;
+    ]

@@ -1,0 +1,240 @@
+(* Tests for the Synchronous-Murphi-style modeling language. *)
+
+open Avp_fsm
+open Avp_enum
+
+let abp_src =
+  {|
+-- an alternating-bit sender
+model abp_sender
+
+state seq     : bool = false
+state waiting : bool = false
+
+choice send_req : bool
+choice ack      : { NONE, ACK0, ACK1 }
+
+update
+  if !waiting then
+    if send_req then waiting := true; end
+  else
+    if (seq == false & ack == ACK0)
+     | (seq == true  & ack == ACK1) then
+      waiting := false;
+      seq := !seq;
+    end
+  end
+end
+|}
+
+let test_parse_abp () =
+  let m = Sml.parse abp_src in
+  Alcotest.(check string) "name" "abp_sender" m.Model.model_name;
+  Alcotest.(check int) "state vars" 2 (Array.length m.Model.state_vars);
+  Alcotest.(check int) "choices" 6 (Model.num_choices m);
+  (match Model.validate m with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "model_name helper" "abp_sender"
+    (Sml.model_name abp_src)
+
+let test_abp_semantics () =
+  let m = Sml.parse abp_src in
+  (* send_req=1, ack=NONE: starts waiting. *)
+  let s1 = m.Model.next m.Model.reset [| 1; 0 |] in
+  Alcotest.(check (array int)) "waiting" [| 0; 1 |] s1;
+  (* wrong ack (ACK1 while seq=0): keeps waiting. *)
+  Alcotest.(check (array int)) "wrong ack holds" [| 0; 1 |]
+    (m.Model.next s1 [| 0; 2 |]);
+  (* right ack: toggles seq, stops waiting. *)
+  Alcotest.(check (array int)) "right ack" [| 1; 0 |]
+    (m.Model.next s1 [| 0; 1 |])
+
+let test_abp_agrees_with_hand_model () =
+  (* The text model enumerates to the same graph as the builder-based
+     one in the conformance example. *)
+  let m = Sml.parse abp_src in
+  let g = State_graph.enumerate m in
+  Alcotest.(check int) "states" 4 (State_graph.num_states g);
+  Alcotest.(check int) "edges" 8 (State_graph.num_edges g)
+
+let test_ranges_and_arith () =
+  let src =
+    {|
+model counter
+state n : 2..9 = 2
+choice up : bool
+update
+  if up & n < 9 then n := n + 1;
+  elsif !up & n > 2 then n := n - 1;
+  end
+end
+|}
+  in
+  let m = Sml.parse src in
+  Alcotest.(check int) "card 8" 8 (Model.card m.Model.state_vars.(0));
+  Alcotest.(check (array int)) "reset at lo" [| 0 |] m.Model.reset;
+  let s = m.Model.next m.Model.reset [| 1 |] in
+  Alcotest.(check (array int)) "incremented" [| 1 |] s;
+  Alcotest.(check (array int)) "saturates low" [| 0 |]
+    (m.Model.next m.Model.reset [| 0 |]);
+  let g = State_graph.enumerate m in
+  Alcotest.(check int) "all values reachable" 8 (State_graph.num_states g)
+
+let test_ternary_and_mul () =
+  let src =
+    {|
+model t
+state x : 0..20 = 0
+choice c : bool
+update
+  x := c ? (x * 2 < 16 ? x * 2 + 1 : 0) : 0;
+end
+|}
+  in
+  let m = Sml.parse src in
+  let s = m.Model.next [| 0 |] [| 1 |] in
+  Alcotest.(check (array int)) "2*0+1" [| 1 |] s;
+  let s = m.Model.next s [| 1 |] in
+  Alcotest.(check (array int)) "2*1+1" [| 3 |] s;
+  Alcotest.(check (array int)) "reset on c=0" [| 0 |]
+    (m.Model.next s [| 0 |])
+
+let expect_error src needle =
+  match Sml.parse src with
+  | exception Sml.Error (msg, _) ->
+    let has =
+      let nl = String.length needle and ml = String.length msg in
+      let rec go i =
+        i + nl <= ml && (String.sub msg i nl = needle || go (i + 1))
+      in
+      go 0
+    in
+    if not has then Alcotest.failf "error %S does not mention %S" msg needle
+  | m ->
+    ignore (m : Model.t);
+    Alcotest.failf "expected an error mentioning %S" needle
+
+let test_errors () =
+  expect_error "model m state x : bool update x := y; end" "unknown name";
+  expect_error "model m state x : bool update end extra" "trailing";
+  expect_error
+    "model m state x : bool choice x : bool update end"
+    "duplicate variable";
+  expect_error
+    "model m state x : 0..3 update x := 7; end"
+    "out of range";
+  expect_error
+    "model m state x : bool update x := true; x := false; end"
+    "assigned twice";
+  expect_error
+    "model m choice c : bool update c := true; end"
+    "cannot assign to choice";
+  expect_error "model m state x : 5..2 update end" "empty range";
+  expect_error
+    "model m state a : {A, B} state b : {B, C} update end"
+    "declared twice";
+  expect_error
+    "model m choice c : bool = true update end"
+    "cannot have an initial value"
+
+let test_enumerate_and_tour_from_text () =
+  (* End-to-end: text model -> enumeration -> covering tours. *)
+  let m = Sml.parse abp_src in
+  let g = State_graph.enumerate m in
+  let t = Avp_tour.Tour_gen.generate g in
+  Alcotest.(check bool) "covers" true
+    (Avp_tour.Tour_gen.covers_all_edges g t)
+
+let suite =
+  [
+    Alcotest.test_case "parse abp" `Quick test_parse_abp;
+    Alcotest.test_case "abp semantics" `Quick test_abp_semantics;
+    Alcotest.test_case "abp graph" `Quick test_abp_agrees_with_hand_model;
+    Alcotest.test_case "ranges and arithmetic" `Quick test_ranges_and_arith;
+    Alcotest.test_case "ternary and mul" `Quick test_ternary_and_mul;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "text to tours" `Quick
+      test_enumerate_and_tour_from_text;
+  ]
+
+(* The .sml Outbox abstraction and the annotated-Verilog Outbox of
+   examples/magic_outbox.ml describe the same machine: identical
+   state graphs. *)
+let outbox_sml =
+  {|
+model outbox_control
+state count : 0..3 = 0
+state drain : { IDLE, ARB, XFER } = IDLE
+choice send_exec : bool
+choice ni_ready  : bool
+update
+  if send_exec & count < 3 & !(drain == XFER & ni_ready) then
+    count := count + 1;
+  elsif !(send_exec & count < 3) & drain == XFER & ni_ready & count > 0 then
+    count := count - 1;
+  end
+  if drain == IDLE then
+    if count > 0 then drain := ARB; end
+  elsif drain == ARB then
+    drain := XFER;
+  elsif ni_ready then
+    drain := IDLE;
+  end
+end
+|}
+
+let outbox_verilog =
+  {|
+module outbox_control (clk, rst, send_exec, ni_ready, full, sending);
+  input clk, rst;
+  input send_exec; // avp free
+  input ni_ready;  // avp free
+  output full, sending;
+  // avp clock clk
+  // avp reset rst
+  reg [1:0] count;  // avp state
+  reg [1:0] drain;  // avp state
+  wire can_accept, pop;
+  assign can_accept = count != 2'd3;
+  assign pop = (drain == 2'd2) & ni_ready;
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 2'd0;
+      drain <= 2'd0;
+    end else begin
+      if ((send_exec & can_accept) & !pop)
+        count <= count + 2'd1;
+      else if (!(send_exec & can_accept) & pop)
+        count <= count - 2'd1;
+      case (drain)
+        2'd0: if (count != 2'd0) drain <= 2'd1;
+        2'd1: drain <= 2'd2;
+        2'd2: if (ni_ready) drain <= 2'd0;
+        default: drain <= 2'd0;
+      endcase
+    end
+  end
+  assign full = count == 2'd3;
+  assign sending = drain == 2'd2;
+endmodule
+|}
+
+let test_sml_matches_verilog_outbox () =
+  let g_text = State_graph.enumerate (Sml.parse outbox_sml) in
+  let tr =
+    Translate.translate
+      (Avp_hdl.Elab.elaborate (Avp_hdl.Parser.parse outbox_verilog))
+  in
+  let g_verilog = State_graph.enumerate tr.Translate.model in
+  Alcotest.(check int) "same states"
+    (State_graph.num_states g_verilog)
+    (State_graph.num_states g_text);
+  Alcotest.(check int) "same edges"
+    (State_graph.num_edges g_verilog)
+    (State_graph.num_edges g_text)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "sml matches verilog outbox" `Quick
+        test_sml_matches_verilog_outbox;
+    ]
