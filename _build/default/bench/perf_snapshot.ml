@@ -1,0 +1,100 @@
+(* Machine-readable enumeration performance snapshot.
+
+     dune exec bench/perf_snapshot.exe [-- OUT.json]
+
+   Enumerates the default control model sequentially and — when more
+   than one core is available — with 2, 4 and the recommended number
+   of domains, checks the results are identical, and writes
+   BENCH_enum.json with throughput and speedup numbers.  AVP_LARGE=1
+   measures the paper-scale large preset instead of the default. *)
+
+open Avp_pp
+open Avp_enum
+
+type run = {
+  domains : int;
+  elapsed_s : float;
+  states_per_s : float;
+  edges_per_s : float;
+  heap_mb : float;
+  speedup : float;  (* vs the 1-domain run *)
+}
+
+let enumerate_with model ~domains =
+  let g = State_graph.enumerate ~domains model in
+  (g, g.State_graph.stats)
+
+let () =
+  let out =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> "BENCH_enum.json"
+    | [ _; path ] -> path
+    | _ ->
+      prerr_endline "usage: perf_snapshot.exe [OUT.json]";
+      exit 1
+  in
+  let large = Sys.getenv_opt "AVP_LARGE" = Some "1" in
+  let preset = if large then "large" else "default" in
+  let cfg = if large then Control_model.large else Control_model.default in
+  let model = Control_model.model cfg in
+  let cores = Domain.recommended_domain_count () in
+  (* Always measure 1/2/4 domains (plus the recommended count): on a
+     single-core host the >1 runs exercise the parallel path and
+     record its honest overhead next to the "cores" field. *)
+  let counts = List.sort_uniq Int.compare [ 1; 2; 4; cores ] in
+  let seq_graph, seq = enumerate_with model ~domains:1 in
+  let runs =
+    List.map
+      (fun domains ->
+        let g, s =
+          if domains = 1 then (seq_graph, seq)
+          else enumerate_with model ~domains
+        in
+        if
+          State_graph.num_states g <> State_graph.num_states seq_graph
+          || State_graph.num_edges g <> State_graph.num_edges seq_graph
+        then begin
+          Printf.eprintf
+            "FATAL: %d-domain enumeration diverged from sequential\n" domains;
+          exit 1
+        end;
+        {
+          domains;
+          elapsed_s = s.State_graph.elapsed_s;
+          states_per_s =
+            float_of_int s.State_graph.num_states /. s.State_graph.elapsed_s;
+          edges_per_s =
+            float_of_int s.State_graph.num_edges /. s.State_graph.elapsed_s;
+          heap_mb = s.State_graph.heap_mb;
+          speedup = seq.State_graph.elapsed_s /. s.State_graph.elapsed_s;
+        })
+      counts
+  in
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"preset\": %S,\n" preset;
+  p "  \"cores\": %d,\n" cores;
+  p "  \"num_states\": %d,\n" seq.State_graph.num_states;
+  p "  \"num_edges\": %d,\n" seq.State_graph.num_edges;
+  p "  \"state_bits\": %d,\n" seq.State_graph.state_bits;
+  p "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"domains\": %d, \"elapsed_s\": %.4f, \"states_per_s\": %.1f, \
+         \"edges_per_s\": %.1f, \"heap_mb\": %.1f, \"speedup\": %.3f}%s\n"
+        r.domains r.elapsed_s r.states_per_s r.edges_per_s r.heap_mb
+        r.speedup
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%s preset, %d cores):\n" out preset cores;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  domains=%d  %.3fs  %.0f states/s  %.0f edges/s  speedup %.2fx\n"
+        r.domains r.elapsed_s r.states_per_s r.edges_per_s r.speedup)
+    runs

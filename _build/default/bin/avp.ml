@@ -51,6 +51,15 @@ let limit_arg =
     & info [ "limit" ] ~docv:"N"
         ~doc:"Per-trace instruction limit (the paper uses 10000).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains"; "j" ] ~docv:"N"
+        ~doc:"Domains (cores) for state enumeration.  Default: the \
+              AVP_DOMAINS environment variable, else the recommended \
+              domain count.  State numbering is identical for any value.")
+
 (* ---------------------------------------------------------------- *)
 (* Model loading                                                    *)
 (* ---------------------------------------------------------------- *)
@@ -97,8 +106,10 @@ let translate_cmd =
     Term.(const run $ file_arg $ top_arg $ murphi_arg)
 
 let enumerate_cmd =
-  let run file top all_conditions dot =
-    let g = State_graph.enumerate ~all_conditions (load_model file top) in
+  let run file top all_conditions dot domains =
+    let g =
+      State_graph.enumerate ~all_conditions ?domains (load_model file top)
+    in
     Format.printf "%a@." State_graph.pp_stats g.State_graph.stats;
     (match State_graph.absorbing_states g with
      | [] -> ()
@@ -125,11 +136,15 @@ let enumerate_cmd =
   in
   Cmd.v
     (Cmd.info "enumerate" ~doc:"Fully enumerate the control state graph.")
-    Term.(const run $ file_arg $ top_arg $ all_conditions_arg $ dot_arg)
+    Term.(
+      const run $ file_arg $ top_arg $ all_conditions_arg $ dot_arg
+      $ domains_arg)
 
 let tour_cmd =
-  let run file top all_conditions limit =
-    let g = State_graph.enumerate ~all_conditions (load_model file top) in
+  let run file top all_conditions limit domains =
+    let g =
+      State_graph.enumerate ~all_conditions ?domains (load_model file top)
+    in
     let t = Tour_gen.generate ?instr_limit:limit g in
     Format.printf "%a@." Tour_gen.pp_stats t.Tour_gen.stats;
     Format.printf "covers all arcs: %b@." (Tour_gen.covers_all_edges g t);
@@ -137,7 +152,9 @@ let tour_cmd =
   in
   Cmd.v
     (Cmd.info "tour" ~doc:"Generate transition tours of the state graph.")
-    Term.(const run $ file_arg $ top_arg $ all_conditions_arg $ limit_arg)
+    Term.(
+      const run $ file_arg $ top_arg $ all_conditions_arg $ limit_arg
+      $ domains_arg)
 
 let vectors_cmd =
   let run file top limit out =

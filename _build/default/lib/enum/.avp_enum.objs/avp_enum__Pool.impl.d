@@ -1,0 +1,1 @@
+lib/enum/pool.ml: Array Condition Domain Fun Mutex

@@ -1,1 +1,1 @@
-lib/enum/state_graph.ml: Array Avp_fsm Bytes Char Format Gc Hashtbl List Model String Sys Unix
+lib/enum/state_graph.ml: Array Avp_fsm Bytes Char Domain Format Gc Hashtbl List Model Pool Printf String Sys Unix

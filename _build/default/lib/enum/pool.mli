@@ -1,0 +1,29 @@
+(** A fixed fork-join pool of OCaml 5 domains for level-synchronous
+    parallel work (plain [Domain]/[Mutex]/[Condition], no
+    dependencies).
+
+    [run] hands every domain — the calling one included — the same job
+    with a distinct slot number and waits for all of them: a barrier.
+    Workers park on a condition variable between rounds, so a pool can
+    drive many short rounds (one per BFS level) without re-spawning
+    domains. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains - 1] worker domains ([domains] is clamped to at
+    least 1; a 1-domain pool runs jobs inline). *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t job] executes [job slot] for every slot in
+    [0 .. size t - 1], slot 0 on the calling domain, and returns when
+    all have finished.  If any slot raises, the first exception is
+    re-raised here after the barrier. *)
+
+val shutdown : t -> unit
+(** Join the workers.  The pool must not be used afterwards. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create] / [shutdown] bracket, robust to exceptions. *)

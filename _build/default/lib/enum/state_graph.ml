@@ -6,32 +6,39 @@ type stats = {
   state_bits : int;
   elapsed_s : float;
   heap_mb : float;
+  domains : int;
+  level_times : (int * float) array;
 }
 
-type t = {
-  model : Model.t;
-  states : int array array;
-  adj : (int * int) array array;
-  stats : stats;
-}
+(* ------------------------------------------------------------------ *)
+(* Packed state keys                                                  *)
+(* ------------------------------------------------------------------ *)
 
-exception Too_many_states of int
-
-(* Pack a valuation into a string key; one byte per variable when the
-   domain fits, two otherwise. *)
+(* Pack a valuation into a byte buffer; one byte per variable when the
+   domain fits, two otherwise.  Returns the key size and an
+   allocation-free [pack_into]. *)
 let make_packer (model : Model.t) =
   let wide =
-    Array.map (fun v -> Model.card v > 256) model.Model.state_vars
+    Array.map
+      (fun v ->
+        let c = Model.card v in
+        if c > 65536 then
+          invalid_arg
+            (Printf.sprintf
+               "State_graph: variable %s has cardinality %d, beyond the \
+                two-byte packed-key limit of 65536"
+               v.Model.name c);
+        c > 256)
+      model.Model.state_vars
   in
-  let size =
+  let key_size =
     Array.fold_left (fun acc w -> acc + if w then 2 else 1) 0 wide
   in
-  fun (valuation : int array) ->
-    let b = Bytes.create size in
+  let pack_into (valuation : int array) (b : Bytes.t) =
     let pos = ref 0 in
     Array.iteri
       (fun i v ->
-        if wide.(i) then begin
+        if Array.unsafe_get wide i then begin
           Bytes.unsafe_set b !pos (Char.unsafe_chr (v land 0xff));
           Bytes.unsafe_set b (!pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
           pos := !pos + 2
@@ -40,8 +47,50 @@ let make_packer (model : Model.t) =
           Bytes.unsafe_set b !pos (Char.unsafe_chr (v land 0xff));
           incr pos
         end)
-      valuation;
-    Bytes.unsafe_to_string b
+      valuation
+  in
+  (key_size, pack_into)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded intern table                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Packed key -> state id.  Sharded by the top bits of the structural
+   hash (the low bits index buckets inside each [Hashtbl], so reusing
+   them for shard selection would leave most buckets empty).  The
+   table is read-mostly: during a parallel level every domain probes
+   it freely while nobody writes; all insertions happen in the
+   single-threaded merge between levels, so no locking is needed. *)
+
+let shard_bits = 6
+
+type index = {
+  key_size : int;
+  shards : (Bytes.t, int) Hashtbl.t array;
+}
+
+let index_create key_size =
+  {
+    key_size;
+    shards = Array.init (1 lsl shard_bits) (fun _ -> Hashtbl.create 256);
+  }
+
+let shard_of idx key =
+  (* Hashtbl.hash yields 30 bits; take the top ones. *)
+  Array.unsafe_get idx.shards (Hashtbl.hash key lsr (30 - shard_bits))
+
+let index_find idx key = Hashtbl.find_opt (shard_of idx key) key
+let index_add idx key id = Hashtbl.replace (shard_of idx key) key id
+
+type t = {
+  model : Model.t;
+  states : int array array;
+  adj : (int * int) array array;
+  stats : stats;
+  index : index;
+}
+
+exception Too_many_states of int
 
 (* Growable array of states. *)
 module Dyn = struct
@@ -62,59 +111,188 @@ module Dyn = struct
   let to_array t = Array.sub t.data 0 t.len
 end
 
-let enumerate ?(all_conditions = false) ?(max_states = 5_000_000)
+let default_domains () =
+  match Sys.getenv_opt "AVP_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Upper bound on the successor slots buffered per parallel batch —
+   bounds the merge arrays to a few MB regardless of model size. *)
+let batch_edge_cap = 1 lsl 20
+
+let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
     (model : Model.t) =
   let t0 = Unix.gettimeofday () in
-  let pack = make_packer model in
-  let index : (string, int) Hashtbl.t = Hashtbl.create 65536 in
+  let requested =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  (* Transition functions that are not safe to share (e.g. they step a
+     single HDL simulator instance) enumerate sequentially. *)
+  let domains = if model.Model.parallel_safe then requested else 1 in
+  let nvars = Array.length model.Model.reset in
+  let key_size, pack_into = make_packer model in
+  let index = index_create key_size in
   let states = Dyn.create [||] in
   let adj = Dyn.create [||] in
-  let intern valuation =
-    let key = pack valuation in
-    match Hashtbl.find_opt index key with
-    | Some id -> id
-    | None ->
-      let id = states.Dyn.len in
-      if id >= max_states then raise (Too_many_states max_states);
-      Hashtbl.add index key id;
-      Dyn.push states valuation;
-      id
-  in
-  let reset = Array.copy model.Model.reset in
-  ignore (intern reset);
   let num_choices = Model.num_choices model in
   let choices =
     Array.init num_choices (fun i -> Model.choice_of_index model i)
   in
   let edge_count = ref 0 in
-  (* BFS: states are processed in id order, which is discovery
-     (breadth-first) order because successors append at the end. *)
-  let frontier = ref 0 in
+  let level_times = ref [] in
+  (* Intern the reset state as id 0. *)
+  let reset = Array.copy model.Model.reset in
+  let reset_key = Bytes.create key_size in
+  pack_into reset reset_key;
+  index_add index reset_key 0;
+  Dyn.push states reset;
+  (* Merge-side scratch, shared by both paths (single-threaded use). *)
+  let merge_key = Bytes.create key_size in
   let seen_dst : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  while !frontier < states.Dyn.len do
-    let src = !frontier in
-    incr frontier;
-    let valuation = Dyn.get states src in
-    Hashtbl.reset seen_dst;
-    let out = ref [] in
-    for ci = 0 to num_choices - 1 do
-      let dst_valuation = model.Model.next valuation choices.(ci) in
-      let dst = intern dst_valuation in
-      let record =
-        if all_conditions then true
-        else if Hashtbl.mem seen_dst dst then false
-        else begin
-          Hashtbl.add seen_dst dst ();
-          true
-        end
-      in
-      if record then begin
-        out := (dst, ci) :: !out;
-        incr edge_count
+  let out = ref [] in
+  let record_edge dst ci =
+    let record =
+      if all_conditions then true
+      else if Hashtbl.mem seen_dst dst then false
+      else begin
+        Hashtbl.add seen_dst dst ();
+        true
       end
-    done;
-    Dyn.push adj (Array.of_list (List.rev !out))
-  done;
+    in
+    if record then begin
+      out := (dst, ci) :: !out;
+      incr edge_count
+    end
+  in
+  (* Intern a freshly discovered valuation during a merge; takes
+     ownership of [valuation] (already a private copy). *)
+  let intern_new valuation =
+    pack_into valuation merge_key;
+    match index_find index merge_key with
+    | Some id -> id
+    | None ->
+      let id = states.Dyn.len in
+      if id >= max_states then raise (Too_many_states max_states);
+      index_add index (Bytes.copy merge_key) id;
+      Dyn.push states valuation;
+      id
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Sequential fast path: the reference semantics.  BFS in id order; *)
+  (* successors append at the end, so ids are discovery order.        *)
+  (* ---------------------------------------------------------------- *)
+  let run_sequential () =
+    let nxt = Array.make nvars 0 in
+    let key = Bytes.create key_size in
+    let frontier = ref 0 in
+    while !frontier < states.Dyn.len do
+      let level_end = states.Dyn.len in
+      let level_size = level_end - !frontier in
+      let lt0 = Unix.gettimeofday () in
+      while !frontier < level_end do
+        let src = !frontier in
+        incr frontier;
+        let cur = Dyn.get states src in
+        Hashtbl.reset seen_dst;
+        out := [];
+        for ci = 0 to num_choices - 1 do
+          model.Model.next_into cur choices.(ci) nxt;
+          pack_into nxt key;
+          let dst =
+            match index_find index key with
+            | Some id -> id
+            | None ->
+              let id = states.Dyn.len in
+              if id >= max_states then raise (Too_many_states max_states);
+              index_add index (Bytes.copy key) id;
+              Dyn.push states (Array.copy nxt);
+              id
+          in
+          record_edge dst ci
+        done;
+        Dyn.push adj (Array.of_list (List.rev !out))
+      done;
+      level_times :=
+        (level_size, Unix.gettimeofday () -. lt0) :: !level_times
+    done
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Parallel path: batch-synchronous BFS.  Each batch of pending     *)
+  (* sources is split across the domains; every domain expands its    *)
+  (* slice against the frozen intern table into private buffers, and  *)
+  (* a deterministic single-threaded merge — in (source id, choice    *)
+  (* index) order, exactly the sequential processing order — assigns  *)
+  (* ids to the genuinely new states.  State numbering, [adj] and     *)
+  (* [stats.num_edges] are therefore identical to the sequential      *)
+  (* result for any domain count.                                     *)
+  (* ---------------------------------------------------------------- *)
+  let run_parallel pool =
+    let batch_cap = max domains (max 1 (batch_edge_cap / max 1 num_choices)) in
+    (* dst_ids.(k) >= 0: successor already interned before this batch.
+       -1: unknown to the frozen table; its valuation is in
+       new_vals.(k), resolved (or assigned a fresh id) during merge.
+       Grown to the largest batch actually seen, bounded by
+       [batch_cap * num_choices] slots. *)
+    let dst_ids = ref (Array.make (min 1024 batch_cap * num_choices) 0) in
+    let new_vals : int array array ref =
+      ref (Array.make (Array.length !dst_ids) [||])
+    in
+    let processed = ref 0 in
+    while !processed < states.Dyn.len do
+      let lo = !processed in
+      let hi = min states.Dyn.len (lo + batch_cap) in
+      let cnt = hi - lo in
+      if cnt * num_choices > Array.length !dst_ids then begin
+        dst_ids := Array.make (cnt * num_choices) 0;
+        new_vals := Array.make (cnt * num_choices) [||]
+      end;
+      let dst_ids = !dst_ids and new_vals = !new_vals in
+      let lt0 = Unix.gettimeofday () in
+      Pool.run pool (fun slot ->
+          let j0 = cnt * slot / domains in
+          let j1 = cnt * (slot + 1) / domains in
+          let nxt = Array.make nvars 0 in
+          let key = Bytes.create key_size in
+          for j = j0 to j1 - 1 do
+            let cur = Dyn.get states (lo + j) in
+            let base = j * num_choices in
+            for ci = 0 to num_choices - 1 do
+              model.Model.next_into cur choices.(ci) nxt;
+              pack_into nxt key;
+              match index_find index key with
+              | Some id -> Array.unsafe_set dst_ids (base + ci) id
+              | None ->
+                Array.unsafe_set dst_ids (base + ci) (-1);
+                Array.unsafe_set new_vals (base + ci) (Array.copy nxt)
+            done
+          done);
+      for j = 0 to cnt - 1 do
+        let base = j * num_choices in
+        Hashtbl.reset seen_dst;
+        out := [];
+        for ci = 0 to num_choices - 1 do
+          let dst =
+            let d = dst_ids.(base + ci) in
+            if d >= 0 then d
+            else begin
+              let v = new_vals.(base + ci) in
+              new_vals.(base + ci) <- [||];
+              intern_new v
+            end
+          in
+          record_edge dst ci
+        done;
+        Dyn.push adj (Array.of_list (List.rev !out))
+      done;
+      processed := hi;
+      level_times := (cnt, Unix.gettimeofday () -. lt0) :: !level_times
+    done
+  in
+  if domains = 1 then run_sequential ()
+  else Pool.with_pool ~domains run_parallel;
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let heap_mb =
     let st = Gc.quick_stat () in
@@ -125,6 +303,7 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000)
     model;
     states = Dyn.to_array states;
     adj = Dyn.to_array adj;
+    index;
     stats =
       {
         num_states = states.Dyn.len;
@@ -132,6 +311,8 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000)
         state_bits = Model.state_bits model;
         elapsed_s;
         heap_mb;
+        domains;
+        level_times = Array.of_list (List.rev !level_times);
       };
   }
 
@@ -139,25 +320,20 @@ let reset_id _ = 0
 let num_states t = Array.length t.states
 let num_edges t = t.stats.num_edges
 
-let find_state t valuation =
-  (* Linear probe through the packed index would need the table; a
-     rebuild here keeps the type simple and is only used by tests and
-     small tools. *)
-  let pack = make_packer t.model in
-  let key = pack valuation in
-  let n = num_states t in
-  let rec loop i =
-    if i >= n then None
-    else if String.equal (pack t.states.(i)) key then Some i
-    else loop (i + 1)
-  in
-  loop 0
+let lookup_valuation t valuation =
+  let key = Bytes.create t.index.key_size in
+  let _, pack_into = make_packer t.model in
+  pack_into valuation key;
+  index_find t.index key
+
+let find_state t valuation = lookup_valuation t valuation
 
 let make_index t =
-  let pack = make_packer t.model in
-  let table = Hashtbl.create (num_states t * 2) in
-  Array.iteri (fun id v -> Hashtbl.replace table (pack v) id) t.states;
-  fun valuation -> Hashtbl.find_opt table (pack valuation)
+  let _, pack_into = make_packer t.model in
+  fun valuation ->
+    let key = Bytes.create t.index.key_size in
+    pack_into valuation key;
+    index_find t.index key
 
 let out_degree t s = Array.length t.adj.(s)
 
@@ -171,8 +347,10 @@ let edge_offsets t =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "states=%d bits/state=%d edges=%d time=%.2fs heap=%.1fMB" s.num_states
-    s.state_bits s.num_edges s.elapsed_s s.heap_mb
+    "states=%d bits/state=%d edges=%d time=%.2fs heap=%.1fMB domains=%d \
+     levels=%d"
+    s.num_states s.state_bits s.num_edges s.elapsed_s s.heap_mb s.domains
+    (Array.length s.level_times)
 
 let pp_dot ppf t =
   Format.fprintf ppf "@[<v 2>digraph %s {@," t.model.Model.model_name;

@@ -10,7 +10,12 @@
     one is recorded" per (src, dst) pair — the first condition tried.
     [~all_conditions:true] applies the fix discussed in Section 4,
     recording every distinct condition as a parallel edge (this is how
-    the Figure 4.2 class of bug becomes detectable). *)
+    the Figure 4.2 class of bug becomes detectable).
+
+    Enumeration can run on several OCaml domains
+    ([enumerate ?domains]); the result — state numbering, adjacency,
+    edge counts — is bit-identical to the sequential one for any
+    domain count.  See DESIGN.md, "Parallel enumeration". *)
 
 open Avp_fsm
 
@@ -20,7 +25,14 @@ type stats = {
   state_bits : int;  (** the paper's "number of bits per state" *)
   elapsed_s : float;
   heap_mb : float;  (** major-heap size at completion, in MB *)
+  domains : int;  (** domains actually used (1 = sequential) *)
+  level_times : (int * float) array;
+      (** per BFS batch: (sources expanded, seconds) *)
 }
+
+type index
+(** Packed-valuation -> state-id hash index, built during
+    enumeration. *)
 
 type t = {
   model : Model.t;
@@ -28,14 +40,24 @@ type t = {
   adj : (int * int) array array;
       (** state id -> ordered (dst, choice index) pairs *)
   stats : stats;
+  index : index;
 }
 
 exception Too_many_states of int
 
+val default_domains : unit -> int
+(** The [AVP_DOMAINS] environment variable when set to a positive
+    integer, else [Domain.recommended_domain_count ()]. *)
+
 val enumerate :
-  ?all_conditions:bool -> ?max_states:int -> Model.t -> t
-(** @raise Too_many_states when the [max_states] bound (default
-    5_000_000) is exceeded. *)
+  ?all_conditions:bool -> ?max_states:int -> ?domains:int -> Model.t -> t
+(** [domains] defaults to [default_domains ()] and is clamped to 1
+    when the model is not {!Model.t.parallel_safe}.
+
+    @raise Too_many_states when the [max_states] bound (default
+    5_000_000) is exceeded.
+    @raise Invalid_argument when a state variable's cardinality
+    exceeds the packed-key limit of 65536. *)
 
 val reset_id : t -> int
 (** Always 0. *)
@@ -44,10 +66,12 @@ val num_states : t -> int
 val num_edges : t -> int
 
 val find_state : t -> int array -> int option
-(** Look up a state id by valuation (linear scan; for tooling). *)
+(** Look up a state id by valuation — a constant-time probe of the
+    enumeration-time index. *)
 
 val make_index : t -> int array -> int option
-(** Constant-time valuation lookup; builds a hash index once. *)
+(** Constant-time valuation lookup (reuses the enumeration-time
+    index; kept for compatibility with [find_state]-style tooling). *)
 
 val out_degree : t -> int -> int
 

@@ -1,1 +1,1 @@
-lib/fsm/model.ml: Array Format Fun List Printf
+lib/fsm/model.ml: Array Domain Format Fun List Printf

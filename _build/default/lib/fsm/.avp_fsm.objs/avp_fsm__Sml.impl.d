@@ -1,1 +1,1 @@
-lib/fsm/sml.ml: Array Format Hashtbl List Model Option String
+lib/fsm/sml.ml: Array Domain Format Hashtbl List Model Option String

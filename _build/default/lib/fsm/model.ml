@@ -20,9 +20,12 @@ type t = {
   choice_vars : var array;
   reset : int array;
   next : int array -> int array -> int array;
+  next_into : int array -> int array -> int array -> unit;
+  parallel_safe : bool;
 }
 
-let create ~name ~state_vars ~choice_vars ~reset ~next =
+let create ?next_into ?(parallel_safe = true) ~name ~state_vars ~choice_vars
+    ~reset ~next () =
   let state_vars = Array.of_list state_vars in
   let choice_vars = Array.of_list choice_vars in
   let reset = Array.of_list reset in
@@ -35,7 +38,16 @@ let create ~name ~state_vars ~choice_vars ~reset ~next =
           (Printf.sprintf "Model.create: reset value for %s out of range"
              v.name))
     state_vars;
-  { model_name = name; state_vars; choice_vars; reset; next }
+  let next_into =
+    match next_into with
+    | Some f -> f
+    | None ->
+      fun cur choices dst ->
+        let r = next cur choices in
+        Array.blit r 0 dst 0 (Array.length r)
+  in
+  { model_name = name; state_vars; choice_vars; reset; next; next_into;
+    parallel_safe }
 
 let state_bits t =
   Array.fold_left (fun acc v -> acc + bits_for (card v)) 0 t.state_vars
@@ -150,9 +162,9 @@ module Builder = struct
   let choice_bool b name = choice b name [| "0"; "1" |]
 
   type ctx = {
-    cur : int array;
-    choices : int array;
-    nxt : int array;
+    mutable cur : int array;
+    mutable choices : int array;
+    mutable nxt : int array;
     assigned : bool array;
     vars : var array;
   }
@@ -174,22 +186,32 @@ module Builder = struct
 
   let build b ~step =
     let vars = Array.of_list (List.rev b.b_state) in
+    let nvars = Array.length vars in
+    (* One reusable ctx per domain: the enumerator calls [next_into]
+       millions of times, concurrently from worker domains, and the
+       scratch must be neither shared nor re-allocated per step. *)
+    let ctx_key =
+      Domain.DLS.new_key (fun () ->
+          { cur = [||]; choices = [||]; nxt = [||];
+            assigned = Array.make nvars false; vars })
+    in
+    let next_into cur choices dst =
+      let ctx = Domain.DLS.get ctx_key in
+      ctx.cur <- cur;
+      ctx.choices <- choices;
+      ctx.nxt <- dst;
+      Array.fill ctx.assigned 0 nvars false;
+      Array.blit cur 0 dst 0 nvars;
+      step ctx
+    in
     let next cur choices =
-      let ctx =
-        {
-          cur;
-          choices;
-          nxt = Array.copy cur;
-          assigned = Array.make (Array.length cur) false;
-          vars;
-        }
-      in
-      step ctx;
-      ctx.nxt
+      let dst = Array.make nvars 0 in
+      next_into cur choices dst;
+      dst
     in
     model_create ~name:b.b_name
       ~state_vars:(List.rev b.b_state)
       ~choice_vars:(List.rev b.b_choice)
       ~reset:(List.rev b.b_reset)
-      ~next
+      ~next ~next_into ()
 end

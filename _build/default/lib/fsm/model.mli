@@ -31,15 +31,31 @@ type t = {
   reset : int array;
   next : int array -> int array -> int array;
       (** [next state choices] must be pure and total *)
+  next_into : int array -> int array -> int array -> unit;
+      (** [next_into state choices dst] writes the successor valuation
+          into [dst] (length = number of state variables) without
+          allocating — the state-enumeration hot path.  Semantically
+          identical to [next]; when [parallel_safe] it must tolerate
+          concurrent calls from multiple domains. *)
+  parallel_safe : bool;
+      (** Whether [next]/[next_into] may be called concurrently from
+          several domains.  False for transition functions that close
+          over shared mutable machinery (e.g. an HDL simulator);
+          enumeration then falls back to a single domain. *)
 }
 
 val create :
+  ?next_into:(int array -> int array -> int array -> unit) ->
+  ?parallel_safe:bool ->
   name:string ->
   state_vars:var list ->
   choice_vars:var list ->
   reset:int list ->
   next:(int array -> int array -> int array) ->
+  unit ->
   t
+(** [next_into] defaults to calling [next] and blitting the result;
+    [parallel_safe] defaults to true (a pure [next]). *)
 
 val state_bits : t -> int
 (** Sum of per-variable encoding bits — the paper's "bits per state". *)

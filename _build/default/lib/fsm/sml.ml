@@ -574,10 +574,15 @@ let parse src =
     choices;
   let state_arr = Array.of_list states in
   let choice_arr = Array.of_list choices in
-  (* Transition function. *)
-  let next st ch =
-    let out = Array.copy st in
-    let assigned = Array.make (Array.length out) false in
+  (* Transition function, writing into a caller-provided buffer; the
+     twice-assigned scratch is per-domain so enumeration can run the
+     update block from several domains at once. *)
+  let nstates = List.length states in
+  let assigned_key = Domain.DLS.new_key (fun () -> Array.make nstates false) in
+  let next_into st ch out =
+    Array.blit st 0 out 0 nstates;
+    let assigned = Domain.DLS.get assigned_key in
+    Array.fill assigned 0 nstates false;
     let lookup n =
       match Hashtbl.find_opt state_index n with
       | Some i -> Some (actual_of_index state_arr.(i).d_ty st.(i))
@@ -615,12 +620,16 @@ let parse src =
             pick branches)
         stmts
     in
-    exec body;
+    exec body
+  in
+  let next st ch =
+    let out = Array.make nstates 0 in
+    next_into st ch out;
     out
   in
-  Model.create ~name
+  Model.create ~name ~next_into
     ~state_vars:
       (List.map (fun d -> Model.var d.d_name (ty_values d.d_ty)) states)
     ~choice_vars:
       (List.map (fun d -> Model.var d.d_name (ty_values d.d_ty)) choices)
-    ~reset ~next
+    ~reset ~next ()

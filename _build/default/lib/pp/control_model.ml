@@ -219,9 +219,11 @@ let choice_vars cfg =
 (* Transition function                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Returns (next state, instructions issued). *)
-let transition cfg (l : layout) (st : int array) (ch : int array) :
-    int array * int =
+(* Writes the next state into [out] (same length as [st]) and returns
+   the number of instructions issued.  Pure up to [out]: safe to call
+   concurrently from several domains with distinct buffers. *)
+let transition_into cfg (l : layout) (st : int array) (ch : int array)
+    ~(out : int array) : int =
   let fc = cfg.fill_counters in
   let ifsm_fixup = 3 + fc in
   let dfsm_last_bg = 3 + fc in
@@ -397,7 +399,7 @@ let transition cfg (l : layout) (st : int array) (ch : int array) :
     if !outbox_occ' < 0 then outbox_occ' := 0;
     if !outbox_occ' > credits then outbox_occ' := credits
   end;
-  let out = Array.copy st in
+  Array.blit st 0 out 0 (Array.length st);
   out.(l.boot) <- 1;
   out.(l.ifsm) <- !ifsm';
   out.(l.dfsm) <- !dfsm';
@@ -407,7 +409,12 @@ let transition cfg (l : layout) (st : int array) (ch : int array) :
   Array.iteri (fun i idx -> out.(idx) <- pipe'.(i)) l.pipe;
   if l.inbox_occ >= 0 then out.(l.inbox_occ) <- !inbox_occ';
   if l.outbox_occ >= 0 then out.(l.outbox_occ) <- !outbox_occ';
-  (out, !issued)
+  !issued
+
+let transition cfg l st ch =
+  let out = Array.make (Array.length st) 0 in
+  let issued = transition_into cfg l st ch ~out in
+  (out, issued)
 
 let model cfg =
   let l = layout cfg in
@@ -416,6 +423,9 @@ let model cfg =
   Model.create ~name:"pp_control" ~state_vars:svars
     ~choice_vars:(choice_vars cfg) ~reset
     ~next:(fun st ch -> fst (transition cfg l st ch))
+    ~next_into:(fun st ch dst ->
+      ignore (transition_into cfg l st ch ~out:dst))
+    ()
 
 let instructions_of_edge cfg ~src ~choice =
   snd (transition cfg (layout cfg) src choice)

@@ -1,1 +1,1 @@
-lib/tour/tour_gen.ml: Array Avp_enum Format Hashtbl List Queue Unix
+lib/tour/tour_gen.ml: Array Avp_enum Bytes Char Format List Queue Unix

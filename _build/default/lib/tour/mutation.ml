@@ -99,6 +99,7 @@ let tour_inputs (m : Mealy.t) =
         [ Avp_fsm.Model.var "i" (Array.init m.Mealy.inputs string_of_int) ]
       ~reset:[ 0 ]
       ~next:(fun st ch -> [| m.Mealy.next st.(0) ch.(0) |])
+      ()
   in
   let graph = Avp_enum.State_graph.enumerate ~all_conditions:true model in
   let tours = Tour_gen.generate graph in

@@ -159,21 +159,52 @@ let generate ?instr_limit ?(instructions_of_edge = fun ~src:_ ~choice:_ -> 1)
 
 let covers_all_edges (graph : Avp_enum.State_graph.t) t =
   let adj = graph.Avp_enum.State_graph.adj in
-  let seen = Hashtbl.create 1024 in
+  let offsets = Avp_enum.State_graph.edge_offsets graph in
+  let num_edges = offsets.(Array.length adj) in
+  (* One bit per edge at its dense [edge_offsets] index — no per-step
+     tuple boxing or hashing.  Edges of a state are stored in
+     ascending choice-index order (each choice appears at most once),
+     so a step's edge position is a binary search away. *)
+  let seen = Bytes.make ((num_edges + 7) / 8) '\000' in
+  let edge_pos src dst choice =
+    if src < 0 || src >= Array.length adj then None
+    else begin
+      let out = adj.(src) in
+      let lo = ref 0 and hi = ref (Array.length out) in
+      while !hi - !lo > 0 do
+        let mid = (!lo + !hi) / 2 in
+        let _, c = out.(mid) in
+        if c < choice then lo := mid + 1 else hi := mid
+      done;
+      if !lo < Array.length out then
+        let d, c = out.(!lo) in
+        if c = choice && d = dst then Some !lo else None
+      else None
+    end
+  in
   Array.iter
     (fun trace ->
       Array.iter
-        (fun s -> Hashtbl.replace seen (s.src, s.dst, s.choice) ())
+        (fun s ->
+          match edge_pos s.src s.dst s.choice with
+          | Some pos ->
+            let e = offsets.(s.src) + pos in
+            let byte = Char.code (Bytes.get seen (e lsr 3)) in
+            Bytes.set seen (e lsr 3) (Char.chr (byte lor (1 lsl (e land 7))))
+          | None -> ())
         trace)
     t.traces;
   let ok = ref true in
-  Array.iteri
-    (fun src out ->
-      Array.iter
-        (fun (dst, choice) ->
-          if not (Hashtbl.mem seen (src, dst, choice)) then ok := false)
-        out)
-    adj;
+  let full_bytes = num_edges lsr 3 in
+  for b = 0 to full_bytes - 1 do
+    if Bytes.get seen b <> '\255' then ok := false
+  done;
+  let rem = num_edges land 7 in
+  if rem > 0 then begin
+    let mask = (1 lsl rem) - 1 in
+    if Char.code (Bytes.get seen full_bytes) land mask <> mask then
+      ok := false
+  end;
   !ok
 
 let is_valid (graph : Avp_enum.State_graph.t) t =

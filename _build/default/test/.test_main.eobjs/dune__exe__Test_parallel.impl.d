@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Avp_enum Avp_fsm Avp_pp Avp_tour List Model Printf QCheck QCheck_alcotest State_graph

@@ -233,6 +233,7 @@ let two_state_model name ~merge_c =
       | 0, 2 -> [| (if merge_c then 1 else 2) |]
       | (1 | 2), 1 -> [| 0 |]
       | s, _ -> [| s |])
+    ()
 
 let test_product_detects_merged_transition () =
   let spec = two_state_model "spec" ~merge_c:false in
@@ -261,6 +262,7 @@ let test_product_choice_mismatch () =
       ~choice_vars:[ Model.bool_var "other" ]
       ~reset:[ 0 ]
       ~next:(fun st _ -> st)
+      ()
   in
   match
     Product.compare ~impl ~spec ~impl_obs:(fun _ -> 0)

@@ -10,6 +10,7 @@ let () =
       ("core", Test_core.suite);
       ("fsm", Test_fsm.suite);
       ("enum", Test_enum.suite);
+      ("parallel", Test_parallel.suite);
       ("tour", Test_tour.suite);
       ("pp", Test_pp.suite);
       ("control", Test_control.suite);

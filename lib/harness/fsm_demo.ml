@@ -18,6 +18,7 @@ let model_of_machine name ~states ~inputs (m : machine) =
     ~choice_vars:[ Model.var "in" (Array.init inputs string_of_int) ]
     ~reset:[ 0 ]
     ~next:(fun st ch -> [| m.next st.(0) ch.(0) |])
+    ()
 
 (* Enumerate the implementation, tour it, replay the tour's condition
    sequence on both machines from reset, compare outputs. *)
