@@ -188,7 +188,7 @@ let vectors_cmd =
     Term.(const run $ file_arg $ top_arg $ limit_arg $ out_arg)
 
 let validate_cmd =
-  let run bug limit =
+  let run bug limit domains =
     let cfg = Avp_pp.Control_model.default in
     let model = Avp_pp.Control_model.model cfg in
     let graph = State_graph.enumerate model in
@@ -203,7 +203,7 @@ let validate_cmd =
         ~instructions_of_edge:weigh graph
     in
     let rows =
-      Avp_harness.Campaign.table_2_1 ~cfg ~graph ~tours ()
+      Avp_harness.Campaign.table_2_1 ?domains ~cfg ~graph ~tours ()
     in
     let rows =
       match bug with
@@ -226,7 +226,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Run the Protocol Processor validation campaign (Table 2.1).")
-    Term.(const run $ bug_arg $ limit_arg)
+    Term.(const run $ bug_arg $ limit_arg $ domains_arg)
 
 let lint_cmd =
   let run file top =
@@ -254,11 +254,11 @@ let lint_cmd =
     Term.(const run $ file_arg $ top_arg)
 
 let replay_cmd =
-  let run file top limit =
+  let run file top limit domains =
     let tr = load_translation file top in
     let g = State_graph.enumerate tr.Translate.model in
     let t = Tour_gen.generate ?instr_limit:limit g in
-    (match Avp_vectors.Replay.check tr g t with
+    (match Avp_vectors.Replay.check ?domains tr g t with
      | Ok stats ->
        Format.printf
          "replayed %d traces / %d cycles: every transition matched@."
@@ -271,7 +271,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Generate tours and replay their vectors against the design,              checking every predicted transition.")
-    Term.(const run $ file_arg $ top_arg $ limit_arg)
+    Term.(const run $ file_arg $ top_arg $ limit_arg $ domains_arg)
 
 let errata_cmd =
   let run () =

@@ -50,9 +50,22 @@ val default_domains : unit -> int
     integer, else [Domain.recommended_domain_count ()]. *)
 
 val enumerate :
-  ?all_conditions:bool -> ?max_states:int -> ?domains:int -> Model.t -> t
+  ?all_conditions:bool ->
+  ?max_states:int ->
+  ?domains:int ->
+  ?parallel_threshold:int ->
+  Model.t ->
+  t
 (** [domains] defaults to [default_domains ()] and is clamped to 1
     when the model is not {!Model.t.parallel_safe}.
+
+    [parallel_threshold] (default 4096): even with [domains > 1],
+    enumeration starts sequentially and only switches to the
+    batch-parallel path once this many states have been discovered —
+    on small graphs the domain spawn and merge overhead costs more
+    than the expansion itself.  The result is bit-identical for any
+    threshold; [stats.domains] reports 1 when the parallel path never
+    engaged.
 
     @raise Too_many_states when the [max_states] bound (default
     5_000_000) is exceeded.

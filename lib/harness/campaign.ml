@@ -18,21 +18,66 @@ let run_stimulus ?config ?(max_cycles = 20_000) (stim : Drive.stimulus) =
     ~mem_init:stim.Drive.mem_init ~program:stim.Drive.program
     ~inbox:stim.Drive.inbox ()
 
-let detect_with ?max_cycles config stimuli =
-  let rec go runs instructions = function
-    | [] -> { detected = false; runs; instructions }
-    | stim :: rest ->
-      let instructions =
-        instructions + Array.length stim.Drive.program - 1
-      in
-      (match run_stimulus ~config ?max_cycles stim with
-       | Compare.Match -> go (runs + 1) instructions rest
-       | Compare.Mismatch _ ->
-         { detected = true; runs = runs + 1; instructions })
-  in
-  go 0 0 stimuli
+let detect_with ?max_cycles ?(domains = 1) config stimuli =
+  let stims = Array.of_list stimuli in
+  let n = Array.length stims in
+  let domains = max 1 (min domains (max 1 n)) in
+  if domains = 1 then begin
+    let rec go runs instructions = function
+      | [] -> { detected = false; runs; instructions }
+      | stim :: rest ->
+        let instructions =
+          instructions + Array.length stim.Drive.program - 1
+        in
+        (match run_stimulus ~config ?max_cycles stim with
+         | Compare.Match -> go (runs + 1) instructions rest
+         | Compare.Mismatch _ ->
+           { detected = true; runs = runs + 1; instructions })
+    in
+    go 0 0 stimuli
+  end
+  else begin
+    (* Stimuli sharded round-robin over domains, each run on its own
+       pair of simulators inside [Compare.run].  [first_hit] lets
+       workers skip stimuli that can no longer be the answer: only
+       indices above an already-detected one are skipped, so the merge
+       below still reports exactly what the sequential scan would. *)
+    let detected = Array.make n false in
+    let first_hit = Atomic.make max_int in
+    Avp_enum.Pool.with_pool ~domains (fun pool ->
+        Avp_enum.Pool.run pool (fun slot ->
+            let i = ref slot in
+            while !i < n do
+              if !i < Atomic.get first_hit then begin
+                (match run_stimulus ~config ?max_cycles stims.(!i) with
+                 | Compare.Match -> ()
+                 | Compare.Mismatch _ ->
+                   detected.(!i) <- true;
+                   let rec lower () =
+                     let cur = Atomic.get first_hit in
+                     if
+                       !i < cur
+                       && not (Atomic.compare_and_set first_hit cur !i)
+                     then lower ()
+                   in
+                   lower ())
+              end;
+              i := !i + domains
+            done));
+    (* Deterministic merge: first detecting stimulus in list order. *)
+    let rec scan i runs instructions =
+      if i = n then { detected = false; runs; instructions }
+      else
+        let instructions =
+          instructions + Array.length stims.(i).Drive.program - 1
+        in
+        if detected.(i) then { detected = true; runs = runs + 1; instructions }
+        else scan (i + 1) (runs + 1) instructions
+    in
+    scan 0 0 0
+  end
 
-let table_2_1 ?(seed = 1) ?max_cycles ~cfg ~graph ~tours () =
+let table_2_1 ?(seed = 1) ?max_cycles ?domains ~cfg ~graph ~tours () =
   let generated_stimuli = Drive.of_traces ~seed cfg graph tours in
   let generated_budget =
     List.fold_left
@@ -53,9 +98,9 @@ let table_2_1 ?(seed = 1) ?max_cycles ~cfg ~graph ~tours () =
       let config = { Rtl.default_config with Rtl.bugs = Bugs.only bug } in
       {
         bug;
-        generated = detect_with ?max_cycles config generated_stimuli;
-        random = detect_with ?max_cycles config random_stimuli;
-        directed = detect_with ?max_cycles config directed_stimuli;
+        generated = detect_with ?max_cycles ?domains config generated_stimuli;
+        random = detect_with ?max_cycles ?domains config random_stimuli;
+        directed = detect_with ?max_cycles ?domains config directed_stimuli;
       })
     Bugs.all_ids
 

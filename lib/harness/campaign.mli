@@ -26,9 +26,22 @@ val run_stimulus :
   Compare.verdict
 (** One stimulus through RTL-vs-spec comparison. *)
 
+val detect_with :
+  ?max_cycles:int ->
+  ?domains:int ->
+  Avp_pp.Rtl.config ->
+  Drive.stimulus list ->
+  method_result
+(** Run stimuli in list order until one exposes a mismatch.
+    [?domains] (default 1) fans the runs out over that many OCaml
+    domains, sharded round-robin, each on its own simulator pair; the
+    merge still reports the first detecting stimulus in list order,
+    so the result is identical to the sequential scan. *)
+
 val table_2_1 :
   ?seed:int ->
   ?max_cycles:int ->
+  ?domains:int ->
   cfg:Avp_pp.Control_model.cfg ->
   graph:Avp_enum.State_graph.t ->
   tours:Avp_tour.Tour_gen.t ->

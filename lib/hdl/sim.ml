@@ -1,32 +1,31 @@
 open Avp_logic
 
-type t = {
+exception Comb_loop = Compile.Comb_loop
+
+(* Two engines behind one interface: the tree-walking interpreter
+   (the original implementation, kept as the differential oracle) and
+   the compiled bytecode kernel in {!Compile}.  Both consume the same
+   {!Compile.units} analysis, so they run the same evaluation units
+   in the same worklist order and agree bit-for-bit, including on
+   which net a [Comb_loop] names. *)
+
+type interp = {
   d : Elab.t;
+  u : Compile.units;
   values : Bv.t array;
   forces : Bv.t option array;
   mutable time : int;
-  (* Continuous drivers grouped by driven base net: a net's settled
-     value is the wire-resolution of every driver's contribution. *)
-  drivers : (Elab.elv * Elab.eexpr) list array;
-  comb : Elab.estmt array;
-  seq : ((Ast.edge * Elab.uid) list * Elab.estmt) array;
-  (* Worklist machinery: evaluation units are resolution of a driven
-     net (unit id = net id) or a combinational block (unit id = number
-     of nets + block index).  [unit_readers.(net)] lists the units
-     that must re-run when the net's value changes. *)
-  unit_readers : int list array;
-  unit_count : int;
   in_queue : bool array;
   queue : int Queue.t;
   mutable dirty_all : bool;
+  (* One overlay reused by every sequential process on every edge,
+     rather than a fresh Hashtbl per process per edge. *)
+  overlay : (Elab.uid, Bv.t) Hashtbl.t;
 }
 
-exception Comb_loop of string
+type t = I of interp | C of Compile.t
 
-let design t = t.d
-let time t = t.time
-
-let create (d : Elab.t) =
+let create_interp (d : Elab.t) (u : Compile.units) =
   let n = Array.length d.Elab.nets in
   let values =
     Array.init n (fun i ->
@@ -35,62 +34,16 @@ let create (d : Elab.t) =
         | Ast.Reg -> Bv.all_x net.Elab.width
         | Ast.Wire -> Bv.all_z net.Elab.width)
   in
-  let drivers = Array.make n [] in
-  let comb = ref [] in
-  let seq = ref [] in
-  Array.iter
-    (fun p ->
-      match p with
-      | Elab.Assign (lv, e) ->
-        List.iter
-          (fun id -> drivers.(id) <- (lv, e) :: drivers.(id))
-          (Elab.lv_nets lv)
-      | Elab.Comb s -> comb := s :: !comb
-      | Elab.Seq (edges, s) -> seq := (edges, s) :: !seq)
-    d.Elab.processes;
-  Array.iteri (fun i l -> drivers.(i) <- List.rev l) drivers;
-  let comb = Array.of_list (List.rev !comb) in
-  let unit_count = n + Array.length comb in
-  (* Reads per unit. *)
-  let lv_index_reads lv =
-    let rec go acc = function
-      | Elab.Lnet _ | Elab.Lrange _ -> acc
-      | Elab.Lindex (_, e) -> List.rev_append (Elab.expr_nets e) acc
-      | Elab.Lconcat ls -> List.fold_left go acc ls
-    in
-    go [] lv
-  in
-  let unit_readers = Array.make n [] in
-  let add_reader net unit_id =
-    if not (List.mem unit_id unit_readers.(net)) then
-      unit_readers.(net) <- unit_id :: unit_readers.(net)
-  in
-  Array.iteri
-    (fun id dlist ->
-      List.iter
-        (fun (lv, e) ->
-          List.iter
-            (fun r -> add_reader r id)
-            (Elab.expr_nets e @ lv_index_reads lv))
-        dlist)
-    drivers;
-  Array.iteri
-    (fun ci body ->
-      List.iter (fun r -> add_reader r (n + ci)) (Elab.stmt_reads body))
-    comb;
   {
     d;
+    u;
     values;
     forces = Array.make n None;
     time = 0;
-    drivers;
-    comb;
-    seq = Array.of_list (List.rev !seq);
-    unit_readers;
-    unit_count;
-    in_queue = Array.make unit_count false;
+    in_queue = Array.make u.Compile.unit_count false;
     queue = Queue.create ();
     dirty_all = true;
+    overlay = Hashtbl.create 16;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -163,8 +116,6 @@ let rec eval_with lookup (d : Elab.t) (e : Elab.eexpr) : Bv.t =
          rest)
   | Elab.Repeat (n, e) -> Bv.repeat n (eval_with lookup d e)
 
-let eval t e = eval_with (fun id -> t.values.(id)) t.d e
-
 (* ------------------------------------------------------------------ *)
 (* Lvalue writes                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -209,13 +160,7 @@ let lv_pieces lookup (d : Elab.t) (lv : Elab.elv) (value : Bv.t) :
   ignore (walk lv 0);
   List.rev !pieces
 
-let apply_piece current (lo, bits) =
-  let w = Bv.width bits in
-  let updated = ref current in
-  for i = 0 to w - 1 do
-    !updated |> fun v -> updated := Bv.set v (lo + i) (Bv.get bits i)
-  done;
-  !updated
+let apply_piece current (lo, bits) = Bv.insert current ~lo bits
 
 (* ------------------------------------------------------------------ *)
 (* Statement execution                                                *)
@@ -259,7 +204,7 @@ let rec exec ctx (d : Elab.t) (s : Elab.estmt) : unit =
     pick items
 
 (* ------------------------------------------------------------------ *)
-(* Settling                                                           *)
+(* Settling (interpreter)                                             *)
 (* ------------------------------------------------------------------ *)
 
 let write_value t id v =
@@ -281,14 +226,14 @@ let enqueue_unit t u =
   end
 
 let mark_net_changed t net =
-  List.iter (enqueue_unit t) t.unit_readers.(net)
+  Array.iter (enqueue_unit t) t.u.Compile.readers.(net)
 
 let run_unit t u ~note_change =
   let n = Array.length t.d.Elab.nets in
   let lookup id = t.values.(id) in
   if u < n then begin
     (* Net resolution unit. *)
-    match t.drivers.(u) with
+    match t.u.Compile.drivers.(u) with
     | [] -> ()
     | dlist ->
       let width = t.d.Elab.nets.(u).Elab.width in
@@ -324,17 +269,17 @@ let run_unit t u ~note_change =
             if write_value t id v then note_change id);
       }
     in
-    exec ctx t.d t.comb.(u - n)
+    exec ctx t.d t.u.Compile.comb.(u - n)
   end
 
-let settle t =
+let settle_i t =
   if t.dirty_all then begin
     t.dirty_all <- false;
-    for u = 0 to t.unit_count - 1 do
+    for u = 0 to t.u.Compile.unit_count - 1 do
       enqueue_unit t u
     done
   end;
-  let budget = 64 * (t.unit_count + 4) in
+  let budget = 64 * (t.u.Compile.unit_count + 4) in
   let executed = ref 0 in
   let last_changed = ref None in
   let note_change net =
@@ -355,74 +300,33 @@ let settle t =
   done
 
 (* ------------------------------------------------------------------ *)
-(* Public accessors                                                   *)
+(* Clock edges (interpreter)                                          *)
 (* ------------------------------------------------------------------ *)
 
-let lookup_id t name =
-  match Hashtbl.find_opt t.d.Elab.by_name name with
-  | Some id -> id
-  | None -> raise Not_found
-
-let get t name = t.values.(lookup_id t name)
-let get_id t id = t.values.(id)
-
-let set t name v =
-  let id = lookup_id t name in
-  let width = t.d.Elab.nets.(id).Elab.width in
-  (match t.forces.(id) with
-   | Some _ -> ()
-   | None ->
-     let v = Bv.resize v width in
-     if not (Bv.equal t.values.(id) v) then begin
-       t.values.(id) <- v;
-       mark_net_changed t id
-     end);
-  settle t
-
-let force t name v =
-  let id = lookup_id t name in
-  let width = t.d.Elab.nets.(id).Elab.width in
-  t.forces.(id) <- Some (Bv.resize v width);
-  t.values.(id) <- Bv.resize v width;
-  mark_net_changed t id;
-  settle t
-
-let release t name =
-  let id = lookup_id t name in
-  t.forces.(id) <- None;
-  (* Re-resolve the net itself and everything reading it. *)
-  enqueue_unit t id;
-  mark_net_changed t id;
-  settle t
-
-let forced t name = t.forces.(lookup_id t name) <> None
-
-(* ------------------------------------------------------------------ *)
-(* Clock edges                                                        *)
-(* ------------------------------------------------------------------ *)
-
-let step ?(edge = Ast.Posedge) t clock =
-  let clock_id = lookup_id t clock in
-  settle t;
-  let pre = Array.copy t.values in
+let step_i ~edge t clock_id =
+  settle_i t;
+  (* Blocking writes of sequential processes only reach the per-
+     process overlay and nonblocking updates commit after every
+     process has run, so [t.values] is the pre-edge state throughout:
+     no snapshot copy of the net table is needed. *)
   let nba = ref [] in
   Array.iter
     (fun (edges, body) ->
       if List.exists (fun (e, id) -> e = edge && id = clock_id) edges then begin
         (* Each process reads pre-edge values plus its own blocking
            writes, so concurrent processes cannot race. *)
-        let overlay : (Elab.uid, Bv.t) Hashtbl.t = Hashtbl.create 8 in
+        Hashtbl.reset t.overlay;
         let lookup id =
-          match Hashtbl.find_opt overlay id with
+          match Hashtbl.find_opt t.overlay id with
           | Some v -> v
-          | None -> pre.(id)
+          | None -> t.values.(id)
         in
         let ctx =
           {
             lookup;
             write_blocking =
               (fun id lo bits ->
-                Hashtbl.replace overlay id
+                Hashtbl.replace t.overlay id
                   (apply_piece (lookup id) (lo, bits)));
             write_nonblocking =
               (fun id lo bits -> nba := (id, lo, bits) :: !nba);
@@ -430,7 +334,7 @@ let step ?(edge = Ast.Posedge) t clock =
         in
         exec ctx t.d body
       end)
-    t.seq;
+    t.u.Compile.seq;
   List.iter
     (fun (id, lo, bits) ->
       match t.forces.(id) with
@@ -443,9 +347,9 @@ let step ?(edge = Ast.Posedge) t clock =
         end)
     (List.rev !nba);
   t.time <- t.time + 1;
-  settle t
+  settle_i t
 
-let poke_id t id v =
+let poke_id_i t id v =
   match t.forces.(id) with
   | Some _ -> ()
   | None ->
@@ -454,3 +358,87 @@ let poke_id t id v =
       t.values.(id) <- v;
       mark_net_changed t id
     end
+
+(* ------------------------------------------------------------------ *)
+(* Public interface: engine dispatch                                  *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(engine = `Auto) (d : Elab.t) =
+  let u = Compile.units d in
+  let want_compiled =
+    match engine with
+    | `Compiled -> true
+    | `Interp -> false
+    | `Auto ->
+      (match Sys.getenv_opt "AVP_SIM_ENGINE" with
+       | Some "interp" -> false
+       | Some _ | None -> true)
+  in
+  if want_compiled then
+    match Compile.create ~u d with
+    | Some c -> C c
+    | None -> I (create_interp d u)
+  else I (create_interp d u)
+
+let engine = function I _ -> `Interp | C _ -> `Compiled
+let design = function I s -> s.d | C c -> Compile.design c
+let time = function I s -> s.time | C c -> Compile.time c
+
+let lookup_id t name =
+  match Hashtbl.find_opt (design t).Elab.by_name name with
+  | Some id -> id
+  | None -> raise Not_found
+
+let get_id t id =
+  match t with I s -> s.values.(id) | C c -> Compile.get_id c id
+
+let get t name = get_id t (lookup_id t name)
+
+let eval t e =
+  match t with
+  | I s -> eval_with (fun id -> s.values.(id)) s.d e
+  | C c -> eval_with (Compile.get_id c) (Compile.design c) e
+
+let settle = function I s -> settle_i s | C c -> Compile.settle c
+
+let poke_id t id v =
+  match t with I s -> poke_id_i s id v | C c -> Compile.poke_id c id v
+
+let set t name v =
+  let id = lookup_id t name in
+  poke_id t id v;
+  settle t
+
+let force t name v =
+  let id = lookup_id t name in
+  match t with
+  | I s ->
+    let width = s.d.Elab.nets.(id).Elab.width in
+    s.forces.(id) <- Some (Bv.resize v width);
+    s.values.(id) <- Bv.resize v width;
+    mark_net_changed s id;
+    settle_i s
+  | C c -> Compile.force_id c id v
+
+let release t name =
+  let id = lookup_id t name in
+  match t with
+  | I s ->
+    s.forces.(id) <- None;
+    (* Re-resolve the net itself and everything reading it. *)
+    enqueue_unit s id;
+    mark_net_changed s id;
+    settle_i s
+  | C c -> Compile.release_id c id
+
+let forced t name =
+  let id = lookup_id t name in
+  match t with
+  | I s -> s.forces.(id) <> None
+  | C c -> Compile.forced_id c id
+
+let step ?(edge = Ast.Posedge) t clock =
+  let clock_id = lookup_id t clock in
+  match t with
+  | I s -> step_i ~edge s clock_id
+  | C c -> Compile.step c ~edge clock_id

@@ -18,7 +18,16 @@ exception Comb_loop of string
 (** Raised when combinational settling fails to converge, naming a
     net that keeps changing. *)
 
-val create : Elab.t -> t
+val create : ?engine:[ `Auto | `Interp | `Compiled ] -> Elab.t -> t
+(** [`Auto] (the default) uses the compiled bytecode kernel whenever
+    {!Compile.create} supports the design, falling back to the
+    tree-walking interpreter otherwise; setting [AVP_SIM_ENGINE=interp]
+    in the environment forces the interpreter, which serves as the
+    differential oracle for the compiled engine. *)
+
+val engine : t -> [ `Interp | `Compiled ]
+(** Which engine [create] actually selected. *)
+
 val design : t -> Elab.t
 
 val time : t -> int

@@ -56,6 +56,11 @@ val concat : t -> t -> t
 (** [concat hi lo]. *)
 
 val select : t -> hi:int -> lo:int -> t
+
+val insert : t -> lo:int -> t -> t
+(** [insert t ~lo src] replaces bits [lo .. lo + width src - 1] of [t]
+    with [src].  @raise Invalid_argument if the range does not fit. *)
+
 val repeat : int -> t -> t
 
 (* Bitwise (elementwise after zero-extension to max width). *)
@@ -98,3 +103,20 @@ val shift_left : t -> t -> t
 val shift_right : t -> t -> t
 
 val mux : sel:Bit.t -> t -> t -> t
+
+(* Two-plane packed interop (the compiled simulator's fast path).
+   Vectors no wider than [packed_width_limit] are stored as a value
+   plane and an unknown plane in native ints: bit i is defined iff
+   bit i of the unknown plane is 0, in which case the value plane
+   holds its value; otherwise value=1 is X and value=0 is Z. *)
+
+val packed_width_limit : int
+(** Widths up to this (62) use the packed two-plane representation. *)
+
+val planes : t -> (int * int) option
+(** [(value, unknown)] planes of a packed vector, [None] if wide. *)
+
+val of_planes : width:int -> int -> int -> t
+(** [of_planes ~width v u] builds a packed vector from planes (masked
+    to [width]).  @raise Invalid_argument when [width] is outside the
+    packed range. *)

@@ -20,43 +20,83 @@ let pp_mismatch ppf m =
 
 exception Found of mismatch
 
-let check ?dut (tr : Translate.result) (graph : Avp_enum.State_graph.t)
-    (tours : Avp_tour.Tour_gen.t) =
+(* Replay one trace on a fresh simulator; returns the cycles consumed
+   and the first in-trace mismatch, if any. *)
+let run_trace ~design ~(tr : Translate.result)
+    ~(graph : Avp_enum.State_graph.t) ti trace vectors =
+  let cycles = ref 0 in
+  let sim = Avp_hdl.Sim.create design in
+  match
+    Condition_map.apply vectors sim ~clock:tr.Translate.clock
+      ~reset:tr.Translate.reset ~on_cycle:(fun i ->
+        incr cycles;
+        Array.iteri
+          (fun vi (b : Translate.binding) ->
+            let predicted =
+              graph.Avp_enum.State_graph.states.(trace.(i)
+                                                   .Avp_tour.Tour_gen.dst)
+                .(vi)
+            in
+            let actual =
+              Translate.value_of_bv
+                (Avp_hdl.Sim.get sim b.Translate.net.Avp_hdl.Elab.name)
+            in
+            if actual <> predicted then
+              raise
+                (Found
+                   {
+                     trace = ti;
+                     cycle = i;
+                     net = b.Translate.net.Avp_hdl.Elab.name;
+                     actual;
+                     predicted;
+                   }))
+          tr.Translate.state_bindings)
+  with
+  | () -> (!cycles, None)
+  | exception Found m -> (!cycles, Some m)
+
+let check ?dut ?(domains = 1) (tr : Translate.result)
+    (graph : Avp_enum.State_graph.t) (tours : Avp_tour.Tour_gen.t) =
   let map = Condition_map.of_translation tr in
   let model = tr.Translate.model in
   let design = Option.value ~default:tr.Translate.elab dut in
-  let cycles = ref 0 in
-  try
-    Array.iteri
-      (fun ti trace ->
-        let vectors = Condition_map.vectors_of_trace map model trace in
-        let sim = Avp_hdl.Sim.create design in
-        Condition_map.apply vectors sim ~clock:tr.Translate.clock
-          ~reset:tr.Translate.reset ~on_cycle:(fun i ->
-            incr cycles;
-            Array.iteri
-              (fun vi (b : Translate.binding) ->
-                let predicted =
-                  graph.Avp_enum.State_graph.states.(trace.(i)
-                                                       .Avp_tour.Tour_gen.dst)
-                    .(vi)
-                in
-                let actual =
-                  Translate.value_of_bv
-                    (Avp_hdl.Sim.get sim b.Translate.net.Avp_hdl.Elab.name)
-                in
-                if actual <> predicted then
-                  raise
-                    (Found
-                       {
-                         trace = ti;
-                         cycle = i;
-                         net = b.Translate.net.Avp_hdl.Elab.name;
-                         actual;
-                         predicted;
-                       }))
-              tr.Translate.state_bindings))
-      tours.Avp_tour.Tour_gen.traces;
-    Ok { traces = Array.length tours.Avp_tour.Tour_gen.traces;
-         cycles = !cycles }
-  with Found m -> Error m
+  let traces = tours.Avp_tour.Tour_gen.traces in
+  let n = Array.length traces in
+  (* The model's [next] may drive a shared reference simulator, so
+     vector generation stays sequential; the replay itself dominates
+     the cost and is embarrassingly parallel. *)
+  let vectors =
+    Array.map (Condition_map.vectors_of_trace map model) traces
+  in
+  let results = Array.make n (0, None) in
+  let run ti =
+    results.(ti) <- run_trace ~design ~tr ~graph ti traces.(ti) vectors.(ti)
+  in
+  let domains = max 1 (min domains (max 1 n)) in
+  if domains = 1 then
+    for ti = 0 to n - 1 do
+      run ti
+    done
+  else
+    (* One simulator per domain at a time, traces sharded round-robin;
+       every domain works on disjoint indices of [results]. *)
+    Avp_enum.Pool.with_pool ~domains (fun pool ->
+        Avp_enum.Pool.run pool (fun slot ->
+            let ti = ref slot in
+            while !ti < n do
+              run !ti;
+              ti := !ti + domains
+            done));
+  (* Deterministic merge, identical to the sequential left-to-right
+     scan: cycles of every trace before the first failing one count,
+     plus the failing trace's partial cycles; the reported mismatch is
+     the lowest-numbered trace's. *)
+  let rec scan ti cycles =
+    if ti = n then Ok { traces = n; cycles }
+    else
+      match results.(ti) with
+      | c, None -> scan (ti + 1) (cycles + c)
+      | _, Some m -> Error m
+  in
+  scan 0 0

@@ -21,6 +21,7 @@ val pp_mismatch : Format.formatter -> mismatch -> unit
 
 val check :
   ?dut:Avp_hdl.Elab.t ->
+  ?domains:int ->
   Avp_fsm.Translate.result ->
   Avp_enum.State_graph.t ->
   Avp_tour.Tour_gen.t ->
@@ -29,6 +30,12 @@ val check :
     vectors, and compares every annotated state net against the tour's
     predicted valuation after each clock edge.  Returns the first
     mismatch, if any.
+
+    [?domains] (default 1) replays traces on that many OCaml domains,
+    one simulator per domain, traces sharded round-robin.  The result
+    is deterministic and identical to the sequential run: vector
+    generation stays on the calling domain, and the merge reports the
+    lowest-numbered failing trace.
 
     [?dut] substitutes a different elaborated design as the device
     under test (it must declare the same annotated nets): vectors

@@ -5,6 +5,7 @@ let () =
       ("hdl", Test_hdl.suite);
       ("hdl2", Test_hdl2.suite);
       ("expr-fuzz", Test_expr_fuzz.suite);
+      ("sim-diff", Test_sim_diff.suite);
       ("sml", Test_sml.suite);
       ("hdl-mutation", Test_hdl_mutation.suite);
       ("core", Test_core.suite);

@@ -11,6 +11,10 @@ let graphs_identical (a : State_graph.t) (b : State_graph.t) =
   && a.State_graph.states = b.State_graph.states
   && a.State_graph.adj = b.State_graph.adj
 
+(* [~parallel_threshold:1] forces the parallel path even on these
+   small models; the default threshold would (correctly) keep them
+   sequential.  A mid-range threshold exercises the sequential-warmup
+   -> parallel switch. *)
 let check_domains ?(all_conditions = false) name model =
   let seq = State_graph.enumerate ~all_conditions ~domains:1 model in
   Alcotest.(check int)
@@ -18,11 +22,26 @@ let check_domains ?(all_conditions = false) name model =
     1 seq.State_graph.stats.State_graph.domains;
   List.iter
     (fun d ->
-      let par = State_graph.enumerate ~all_conditions ~domains:d model in
+      let par =
+        State_graph.enumerate ~all_conditions ~domains:d
+          ~parallel_threshold:1 model
+      in
       Alcotest.(check bool)
         (Printf.sprintf "%s: %d domains identical to sequential" name d)
         true
-        (graphs_identical seq par))
+        (graphs_identical seq par);
+      let hybrid =
+        State_graph.enumerate ~all_conditions ~domains:d
+          ~parallel_threshold:
+            (max 2 (State_graph.num_states seq / 2))
+          model
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "%s: %d domains with mid-run switch identical to sequential"
+           name d)
+        true
+        (graphs_identical seq hybrid))
     [ 2; 4 ]
 
 let handshake_model () =
@@ -36,6 +55,13 @@ let handshake_model () =
       | 1 -> set ctx st 2
       | 2 -> if chosen ctx req = 0 then set ctx st 0
       | _ -> assert false)
+
+(* Below the default threshold a multi-domain request must not spawn
+   domains at all: the stats report the sequential path was used. *)
+let test_threshold_keeps_small_sequential () =
+  let g = State_graph.enumerate ~domains:4 (handshake_model ()) in
+  Alcotest.(check int) "small graph stayed sequential" 1
+    g.State_graph.stats.State_graph.domains
 
 let test_handshake_domains () =
   check_domains "handshake" (handshake_model ());
@@ -80,7 +106,8 @@ let prop_random_models_domain_invariant =
       let seq = State_graph.enumerate ~domains:1 m in
       List.for_all
         (fun d ->
-          graphs_identical seq (State_graph.enumerate ~domains:d m))
+          graphs_identical seq
+            (State_graph.enumerate ~domains:d ~parallel_threshold:1 m))
         [ 2; 4 ])
 
 (* Regression: find_state is an index probe now — it must still find
@@ -153,6 +180,8 @@ let test_default_domains_env () =
 
 let suite =
   [
+    Alcotest.test_case "small graphs stay sequential" `Quick
+      test_threshold_keeps_small_sequential;
     Alcotest.test_case "handshake domains 1/2/4" `Quick
       test_handshake_domains;
     Alcotest.test_case "control tiny domains 1/2/4" `Quick
