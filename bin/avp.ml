@@ -229,29 +229,130 @@ let validate_cmd =
     Term.(const run $ bug_arg $ limit_arg $ domains_arg)
 
 let lint_cmd =
-  let run file top =
-    let src =
-      if file = "pp" then Avp_pp.Control_hdl.source else read_file file
-    in
-    let elab = Elab.elaborate ?top (Parser.parse src) in
-    (match Avp_hdl.Lint.check elab with
-     | [] ->
-       Format.printf "clean@.";
-       0
-     | findings ->
-       List.iter
-         (fun f -> Format.printf "%a@." Avp_hdl.Lint.pp_finding f)
-         findings;
-       if
-         List.exists
-           (fun f -> f.Avp_hdl.Lint.severity = Avp_hdl.Lint.Error)
-           findings
-       then 1
-       else 0)
+  let open Avp_analysis in
+  let run file top json only ignored strict fsm =
+    match
+      List.find_opt
+        (fun r -> not (Analysis.is_rule r))
+        (only @ ignored)
+    with
+    | Some r ->
+      Format.eprintf "avp lint: unknown rule '%s' (see avp lint --help)@." r;
+      2
+    | None ->
+      let fname = if file = "pp" then "pp_control.v" else file in
+      let findings =
+        if file <> "pp" && Filename.check_suffix file ".sml" then begin
+          (* FSM models: guard lint plus the abstract model checks. *)
+          let src = read_file file in
+          let guards =
+            List.map
+              (fun (line, rule, msg) ->
+                Finding.make
+                  ~loc:{ Ast.line; col = 0 }
+                  Finding.Warning rule msg)
+              (Sml.lint src)
+          in
+          let model = Analysis.run_model ~only ~ignore:ignored (Sml.parse src) in
+          Finding.sort (Analysis.filter ~only ~ignore:ignored guards @ model)
+        end
+        else begin
+          let src =
+            if file = "pp" then Avp_pp.Control_hdl.source else read_file file
+          in
+          let elab = Elab.elaborate ?top (Parser.parse src) in
+          let netlist = Analysis.run ~only ~ignore:ignored elab in
+          let fsm_findings =
+            if not fsm then []
+            else
+              try
+                Analysis.run_model ~only ~ignore:ignored
+                  (Translate.translate elab).Translate.model
+              with e ->
+                Format.eprintf "avp lint: fsm checks skipped: %s@."
+                  (Printexc.to_string e);
+                []
+          in
+          Finding.sort (netlist @ fsm_findings)
+        end
+      in
+      if json then print_string (Finding.to_json ~file:fname findings)
+      else if findings = [] then Format.printf "clean@."
+      else
+        List.iter
+          (fun f -> Format.printf "%a@." (Finding.pp ~file:fname) f)
+          findings;
+      Analysis.exit_code ~strict findings
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit findings as a JSON object (the machine-checkable gate \
+                format used by CI).")
+  in
+  let only_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"RULE"
+          ~doc:"Report only findings of $(docv); repeatable.")
+  in
+  let ignore_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "ignore" ] ~docv:"RULE"
+          ~doc:"Drop findings of $(docv); repeatable.  $(b,--only) wins when \
+                both are given.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit with code 1 when warnings remain.")
+  in
+  let fsm_arg =
+    Arg.(
+      value & flag
+      & info [ "fsm" ]
+          ~doc:"Also run the FSM model checks on a Verilog design \
+                (requires avp state annotations; .sml inputs always get \
+                them).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Static analysis over the elaborated netlist: a dataflow framework \
+          drives combinational-loop detection (Tarjan SCC), latch \
+          inference (incomplete assignment paths), X/Z-source taint \
+          tracking into sequential state, width checks and the structural \
+          style rules.  For .sml models the FSM itself is checked: \
+          statically unreachable state-variable values, sink states, \
+          vacuous or overlapping nondeterministic choices, and dead or \
+          shadowed rule guards.";
+      `P "Findings are ordered deterministically by (severity, rule, net, \
+          position) so output is byte-stable across runs.";
+      `S "RULES";
+    ]
+    @ List.map
+        (fun (name, sev, doc) ->
+          `I
+            ( Printf.sprintf "$(b,%s) (%s)" name
+                (Finding.severity_string sev),
+              doc ))
+        Analysis.rules
+    @ [
+        `S "EXIT STATUS";
+        `P "0 on a clean design (or warnings without $(b,--strict)); 1 when \
+            warnings remain and $(b,--strict) was given; 2 when errors were \
+            found (or the rule selection was invalid).";
+      ]
   in
   Cmd.v
-    (Cmd.info "lint" ~doc:"Check a design against the stylized subset.")
-    Term.(const run $ file_arg $ top_arg)
+    (Cmd.info "lint" ~man
+       ~doc:"Statically analyse a design or FSM model against the stylized \
+             subset.")
+    Term.(
+      const run $ file_arg $ top_arg $ json_arg $ only_arg $ ignore_arg
+      $ strict_arg $ fsm_arg)
 
 let replay_cmd =
   let run file top limit domains =

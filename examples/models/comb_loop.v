@@ -1,0 +1,15 @@
+// A combinational cycle: p and q feed each other through continuous
+// assignments, so the netlist can never settle.  The interpreter only
+// notices at simulation time (Sim.Comb_loop after its budget); the
+// static analyser must flag it before any simulator is built.
+module comb_loop(a, y);
+  input a;
+  output y;
+
+  wire p;
+  wire q;
+
+  assign p = q & a;
+  assign q = p | a;
+  assign y = p;
+endmodule

@@ -1,0 +1,31 @@
+// Bug #5's shape (see PAPER.md / DESIGN.md): a shared result bus with
+// tri-state drivers whose enables can both release, flowing through a
+// transparent latch into an architectural register.  `avp lint` must
+// report the inferred latch on `hold` and the X/Z taint path
+// bus -> hold -> out; the two tri-state drivers themselves are a
+// deliberate bus and must NOT trip multiple-drivers.
+module tri_latch(clk, en_a, en_b, data_a, data_b, sel, out);
+  input clk;
+  input en_a;
+  input en_b;
+  input [7:0] data_a;
+  input [7:0] data_b;
+  input sel;
+  output [7:0] out;
+
+  wire [7:0] bus;
+  reg  [7:0] out;
+  reg  [7:0] hold;
+
+  assign bus = en_a ? data_a : 8'bzzzzzzzz;
+  assign bus = en_b ? data_b : 8'bzzzzzzzz;
+
+  // Incomplete assignment: hold keeps its old value while sel is low.
+  always @(*) begin
+    if (sel)
+      hold = bus;
+  end
+
+  always @(posedge clk)
+    out <= hold;
+endmodule

@@ -1,0 +1,37 @@
+(** Model checker-lite over {!Avp_fsm.Model}.
+
+    The transition function is a black box, so "static" means a
+    cartesian abstract interpretation: one possibly-reachable value
+    set per state variable, iterated to a fixpoint by evaluating
+    [next] over the product of the sets for every choice combination.
+    The abstraction over-approximates the concrete reachable set, so
+    unreachability claims are sound: statically-unreachable is a
+    subset of dynamically-unreachable (cross-checked against the
+    enumerator on pp_control in the test suite).
+
+    When the product exceeds the evaluation budget — or [next]
+    raises, as HDL-backed models can on abstract states the simulator
+    never produces — the analysis marks itself [capped] and emits no
+    claims at all rather than unsound ones. *)
+
+open Avp_fsm
+
+type result = {
+  model : Model.t;
+  reachable_values : bool array array;
+      (** state var index -> value -> possibly reachable *)
+  sinks : int array list;
+      (** abstract tuples every choice combination maps to itself;
+          restricted to reachable states these coincide with
+          [State_graph.absorbing_states] *)
+  capped : bool;
+  evals : int;  (** transition-function evaluations performed *)
+  findings : Finding.t list;
+      (** rules: [fsm-unreachable], [fsm-sink], [fsm-dead-choice],
+          [fsm-choice-overlap]; or [fsm-check-capped] alone *)
+}
+
+val analyze : ?max_evals:int -> Model.t -> result
+(** [max_evals] bounds total [next] evaluations (default 2,000,000). *)
+
+val findings : result -> Finding.t list

@@ -388,6 +388,17 @@ let pp_dot ppf t =
     t.adj;
   Format.fprintf ppf "@]}@,"
 
+let value_coverage t =
+  let cov =
+    Array.map
+      (fun v -> Array.make (Model.card v) false)
+      t.model.Model.state_vars
+  in
+  Array.iter
+    (fun st -> Array.iteri (fun i v -> cov.(i).(v) <- true) st)
+    t.states;
+  cov
+
 let absorbing_states t =
   let out = ref [] in
   Array.iteri

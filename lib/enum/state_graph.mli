@@ -97,6 +97,12 @@ val pp_stats : Format.formatter -> stats -> unit
 val pp_dot : Format.formatter -> t -> unit
 (** Graphviz rendering (small graphs only). *)
 
+val value_coverage : t -> bool array array
+(** [state var index -> value -> some enumerated state holds it] — the
+    dynamic ground truth the static analyser's per-variable
+    reachability claims are checked against (statically-unreachable
+    must be a subset of dynamically-unreachable). *)
+
 val absorbing_states : t -> int list
 (** States every one of whose transitions self-loops: the machine can
     never leave them.  Coverage-driven validation does not check

@@ -633,3 +633,118 @@ let parse src =
     ~choice_vars:
       (List.map (fun d -> Model.var d.d_name (ty_values d.d_ty)) choices)
     ~reset ~next ()
+
+(* ------------------------------------------------------------------ *)
+(* Guard lint                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Static checks over the if/elsif chains of the update block, without
+   building the transition function: duplicate guards and guards after
+   a constant-true guard can never fire (the first matching branch
+   wins); constant-false guards are dead outright.  Findings are
+   (line, rule, message) triples so the analysis layer can dress them
+   uniformly. *)
+let lint src : (int * string * string) list =
+  let _, decls, body = parse_file src in
+  let var_tbl = Hashtbl.create 16 and enum_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace var_tbl d.d_name ();
+      match d.d_ty with
+      | Enum names ->
+        Array.iteri (fun i l -> Hashtbl.replace enum_tbl l i) names
+      | Bool | Range _ -> ())
+    decls;
+  let rec cfold e =
+    match e with
+    | Lit v -> Some v
+    | Ref (n, _) ->
+      if Hashtbl.mem var_tbl n then None else Hashtbl.find_opt enum_tbl n
+    | Unop (op, e) ->
+      Option.map
+        (fun v -> match op with `Not -> (if v = 0 then 1 else 0) | `Neg -> -v)
+        (cfold e)
+    | Binop (op, a, b) ->
+      Option.bind (cfold a) (fun va ->
+          Option.map
+            (fun vb ->
+              let b2i c = if c then 1 else 0 in
+              match op with
+              | `And -> b2i (va <> 0 && vb <> 0)
+              | `Or -> b2i (va <> 0 || vb <> 0)
+              | `Eq -> b2i (va = vb)
+              | `Neq -> b2i (va <> vb)
+              | `Lt -> b2i (va < vb)
+              | `Le -> b2i (va <= vb)
+              | `Gt -> b2i (va > vb)
+              | `Ge -> b2i (va >= vb)
+              | `Add -> va + vb
+              | `Sub -> va - vb
+              | `Mul -> va * vb)
+            (cfold b))
+    | Cond (c, t, f) ->
+      Option.bind (cfold c) (fun vc -> if vc <> 0 then cfold t else cfold f)
+  in
+  let rec expr_line = function
+    | Ref (_, l) -> l
+    | Lit _ -> 0
+    | Unop (_, e) -> expr_line e
+    | Binop (_, a, b) ->
+      let l = expr_line a in
+      if l > 0 then l else expr_line b
+    | Cond (c, t, f) ->
+      let l = expr_line c in
+      if l > 0 then l
+      else
+        let l = expr_line t in
+        if l > 0 then l else expr_line f
+  in
+  (* Structural guard identity modulo source position. *)
+  let rec strip = function
+    | Lit v -> Lit v
+    | Ref (n, _) -> Ref (n, 0)
+    | Unop (o, e) -> Unop (o, strip e)
+    | Binop (o, a, b) -> Binop (o, strip a, strip b)
+    | Cond (c, t, f) -> Cond (strip c, strip t, strip f)
+  in
+  let out = ref [] in
+  let add line rule msg = out := (line, rule, msg) :: !out in
+  let rec walk s =
+    match s with
+    | Assign _ -> ()
+    | If (branches, dflt) ->
+      let n = List.length branches in
+      let seen = ref [] in
+      let shadowed = ref false in
+      List.iteri
+        (fun i (c, b) ->
+          let line = expr_line c in
+          if !shadowed then
+            add line "fsm-shadowed-guard"
+              "guard can never fire: an earlier guard of this chain is \
+               constant true"
+          else begin
+            let key = strip c in
+            if List.mem key !seen then
+              add line "fsm-shadowed-guard"
+                "guard duplicates an earlier guard of this chain and can \
+                 never fire"
+            else seen := key :: !seen;
+            match cfold c with
+            | Some 0 ->
+              add line "fsm-dead-guard"
+                "guard is constant false: this branch never fires"
+            | Some _ ->
+              shadowed := true;
+              if i < n - 1 || dflt <> None then
+                add line "fsm-dead-guard"
+                  "guard is constant true: the rest of this chain never \
+                   fires"
+            | None -> ()
+          end;
+          List.iter walk b)
+        branches;
+      Option.iter (List.iter walk) dflt
+  in
+  List.iter walk body;
+  List.rev !out

@@ -46,3 +46,11 @@ val parse : string -> Model.t
 val model_name : string -> string
 (** The declared model name, without building the transition
     function.  @raise Error as {!parse}. *)
+
+val lint : string -> (int * string * string) list
+(** Static guard checks over the update block, without building the
+    transition function: [(line, rule, message)] triples.  Rules:
+    [fsm-shadowed-guard] (a guard duplicates an earlier guard of the
+    same if/elsif chain, or follows a constant-true guard, so it can
+    never fire) and [fsm-dead-guard] (a guard folds to a constant).
+    @raise Error as {!parse}. *)

@@ -104,6 +104,9 @@ type module_decl = {
 
 type design = module_decl list
 
+val unop_str : unop -> string
+val binop_str : binop -> string
+
 val pp_expr : Format.formatter -> expr -> unit
 val pp_stmt : Format.formatter -> stmt -> unit
 val pp_item : Format.formatter -> item -> unit

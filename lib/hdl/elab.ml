@@ -6,6 +6,7 @@ type enet = {
   width : int;
   kind : Ast.net_kind;
   attrs : string list;
+  loc : Ast.loc;
 }
 
 type eexpr =
@@ -46,6 +47,7 @@ type t = {
   top : string;
   directives : string list;
   top_inputs : bool array;  (* net id -> top-level input/inout port *)
+  process_locs : Ast.loc array;  (* parallel to [processes] *)
 }
 
 exception Error of string
@@ -60,21 +62,23 @@ type builder = {
   mutable b_nets : enet list;  (* reverse order *)
   mutable b_count : int;
   b_by_name : (string, uid) Hashtbl.t;
-  mutable b_processes : (process * bool) list;  (* with control flag *)
+  mutable b_processes : (process * bool * Ast.loc) list;
+      (* with control flag and source position *)
   mutable b_directives : string list;  (* reverse order *)
   mutable b_in_control : bool;
 }
 
-let new_net b ~name ~width ~kind ~attrs =
+let new_net b ~name ~width ~kind ~attrs ~loc =
   if Hashtbl.mem b.b_by_name name then
     fail "duplicate net declaration: %s" name;
-  let n = { id = b.b_count; name; width; kind; attrs } in
+  let n = { id = b.b_count; name; width; kind; attrs; loc } in
   b.b_nets <- n :: b.b_nets;
   b.b_count <- b.b_count + 1;
   Hashtbl.add b.b_by_name name n.id;
   n
 
-let add_process b p = b.b_processes <- (p, b.b_in_control) :: b.b_processes
+let add_process b ~loc p =
+  b.b_processes <- (p, b.b_in_control, loc) :: b.b_processes
 
 (* Per-instance scope: local net name -> (uid, declared lsb, width). *)
 type scope = {
@@ -169,29 +173,29 @@ let rec resolve_stmt scope (s : Ast.stmt) : estmt =
 (* ------------------------------------------------------------------ *)
 
 let decl_info (m : Ast.module_decl) =
-  (* name -> (range, kind, attrs); ports without a net decl default to
-     wire with the port's range. *)
+  (* name -> (range, kind, attrs, loc); ports without a net decl
+     default to wire with the port's range. *)
   let info = Hashtbl.create 16 in
   let dirs = Hashtbl.create 16 in
   List.iter
     (fun item ->
       match item with
-      | Ast.Port_decl (dir, r, names, _) ->
+      | Ast.Port_decl (dir, r, names, loc) ->
         List.iter
           (fun n ->
             Hashtbl.replace dirs n dir;
             if not (Hashtbl.mem info n) then
-              Hashtbl.replace info n (r, Ast.Wire, []))
+              Hashtbl.replace info n (r, Ast.Wire, [], loc))
           names
-      | Ast.Net_decl { d_kind; d_range; d_names; d_attrs; _ } ->
+      | Ast.Net_decl { d_kind; d_range; d_names; d_attrs; d_loc } ->
         List.iter
           (fun n ->
             let r =
               match Hashtbl.find_opt info n with
-              | Some (Some r, _, _) -> Some r
+              | Some (Some r, _, _, _) -> Some r
               | _ -> d_range
             in
-            Hashtbl.replace info n (r, d_kind, d_attrs))
+            Hashtbl.replace info n (r, d_kind, d_attrs, d_loc))
           d_names
       | Ast.Assign _ | Ast.Always _ | Ast.Instance _ | Ast.Directive _
       | Ast.Initial _ -> ())
@@ -221,12 +225,12 @@ let rec instantiate b (design : Ast.design) (m : Ast.module_decl)
     port_aliases;
   (* Declare all remaining local nets. *)
   Hashtbl.iter
-    (fun name (range, kind, attrs) ->
+    (fun name (range, kind, attrs, loc) ->
       if not (Hashtbl.mem scope.table name) then begin
         check_range name range;
         let width = Ast.range_width range in
         let full = if prefix = "" then name else prefix ^ "." ^ name in
-        let n = new_net b ~name:full ~width ~kind ~attrs in
+        let n = new_net b ~name:full ~width ~kind ~attrs ~loc in
         Hashtbl.replace scope.table name (n.id, range_lsb range, width)
       end)
     info;
@@ -242,11 +246,12 @@ let rec instantiate b (design : Ast.design) (m : Ast.module_decl)
           (if prefix = "" then payload else prefix ^ ": " ^ payload)
           :: b.b_directives
       | Ast.Initial _ -> ()
-      | Ast.Assign (lv, e, _) ->
-        add_process b (Assign (resolve_lv scope lv, resolve_expr scope e))
-      | Ast.Always (Ast.Comb, body, _) ->
-        add_process b (Comb (resolve_stmt scope body))
-      | Ast.Always (Ast.Edges edges, body, _) ->
+      | Ast.Assign (lv, e, loc) ->
+        add_process b ~loc
+          (Assign (resolve_lv scope lv, resolve_expr scope e))
+      | Ast.Always (Ast.Comb, body, loc) ->
+        add_process b ~loc (Comb (resolve_stmt scope body))
+      | Ast.Always (Ast.Edges edges, body, loc) ->
         let edges =
           List.map
             (fun (edge, name) ->
@@ -254,12 +259,12 @@ let rec instantiate b (design : Ast.design) (m : Ast.module_decl)
               (edge, id))
             edges
         in
-        add_process b (Seq (edges, resolve_stmt scope body))
-      | Ast.Instance { i_module; i_name; i_conns; _ } ->
-        elaborate_instance b design scope ~i_module ~i_name ~i_conns)
+        add_process b ~loc (Seq (edges, resolve_stmt scope body))
+      | Ast.Instance { i_module; i_name; i_conns; i_loc } ->
+        elaborate_instance b design scope ~i_module ~i_name ~i_conns ~i_loc)
     m.Ast.m_items
 
-and elaborate_instance b design scope ~i_module ~i_name ~i_conns =
+and elaborate_instance b design scope ~i_module ~i_name ~i_conns ~i_loc =
   let child =
     match Ast.find_module design i_module with
     | Some m -> m
@@ -291,7 +296,7 @@ and elaborate_instance b design scope ~i_module ~i_name ~i_conns =
   let later = ref [] in
   List.iter
     (fun (port, expr) ->
-      let port_range, _, _ =
+      let port_range, _, _, _ =
         match Hashtbl.find_opt child_info port with
         | Some entry -> entry
         | None -> fail "module %s has no port %s" i_module port
@@ -323,7 +328,8 @@ and elaborate_instance b design scope ~i_module ~i_name ~i_conns =
       let cid = child_scope_entry port in
       match dir with
       | Ast.Input ->
-        add_process b (Assign (Lnet cid, resolve_expr scope expr))
+        add_process b ~loc:i_loc
+          (Assign (Lnet cid, resolve_expr scope expr))
       | Ast.Output ->
         let lv =
           match expr with
@@ -337,7 +343,7 @@ and elaborate_instance b design scope ~i_module ~i_name ~i_conns =
           | _ ->
             fail "output port %s of %s must connect to an lvalue" port i_name
         in
-        add_process b (Assign (lv, Net cid))
+        add_process b ~loc:i_loc (Assign (lv, Net cid))
       | Ast.Inout ->
         fail "inout port %s of %s must connect to a plain identifier" port
           i_name)
@@ -378,12 +384,13 @@ let elaborate ?top (design : Ast.design) =
     top_module.Ast.m_items;
   {
     nets = Array.of_list (List.rev b.b_nets);
-    processes = Array.of_list (List.map fst procs);
-    control = Array.of_list (List.map snd procs);
+    processes = Array.of_list (List.map (fun (p, _, _) -> p) procs);
+    control = Array.of_list (List.map (fun (_, c, _) -> c) procs);
     by_name = b.b_by_name;
     top = top_module.Ast.m_name;
     directives = List.rev b.b_directives;
     top_inputs;
+    process_locs = Array.of_list (List.map (fun (_, _, l) -> l) procs);
   }
 
 let net t name =

@@ -14,6 +14,7 @@ type enet = {
   width : int;
   kind : Ast.net_kind;
   attrs : string list;  (** [avp] attributes from the declaration *)
+  loc : Ast.loc;  (** declaration site in the source text *)
 }
 
 type eexpr =
@@ -57,6 +58,10 @@ type t = {
   directives : string list;  (** standalone module-level avp directives *)
   top_inputs : bool array;
       (** net id -> the net is a top-level input or inout port *)
+  process_locs : Ast.loc array;
+      (** parallel to [processes]: source position of the item each
+          process was elaborated from (synthetic port-connection
+          assignments carry the instance's position) *)
 }
 
 exception Error of string

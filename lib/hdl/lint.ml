@@ -14,9 +14,25 @@ let pp_finding ppf f =
     (match f.net with Some n -> " " ^ n | None -> "")
     f.message
 
+(* Syntactic "this driver can release the bus": the expression can
+   evaluate to all-z on some input.  A tri-state driver is written
+   [en ? data : 'bz]; a net whose every continuous driver has this
+   shape is a deliberate tri-state bus, not a conflict. *)
+let rec can_float (e : Elab.eexpr) =
+  match e with
+  | Elab.Const v ->
+    let s = Avp_logic.Bv.to_string v in
+    s <> "" && String.for_all (fun c -> c = 'z') s
+  | Elab.Ternary (_, a, b) -> can_float a || can_float b
+  | Elab.Concat es -> es <> [] && List.for_all can_float es
+  | Elab.Repeat (_, e) -> can_float e
+  | _ -> false
+
 (* Per-net facts gathered over the design. *)
 type facts = {
   mutable assign_drivers : int;
+  mutable hard_assign_drivers : int;
+      (* continuous drivers that can never release the bus *)
   mutable comb_writes : int;
   mutable seq_writes : int;
   mutable blocking_writes : int;
@@ -28,6 +44,7 @@ type facts = {
 let fresh () =
   {
     assign_drivers = 0;
+    hard_assign_drivers = 0;
     comb_writes = 0;
     seq_writes = 0;
     blocking_writes = 0;
@@ -58,9 +75,13 @@ let check (d : Elab.t) : finding list =
   Array.iter
     (fun p ->
       (match p with
-       | Elab.Assign (lv, _) ->
+       | Elab.Assign (lv, e) ->
+         let hard = if can_float e then 0 else 1 in
          List.iter
-           (fun id -> facts.(id).assign_drivers <- facts.(id).assign_drivers + 1)
+           (fun id ->
+             facts.(id).assign_drivers <- facts.(id).assign_drivers + 1;
+             facts.(id).hard_assign_drivers <-
+               facts.(id).hard_assign_drivers + hard)
            (Elab.lv_nets lv)
        | Elab.Comb body ->
          List.iter
@@ -97,11 +118,11 @@ let check (d : Elab.t) : finding list =
       List.iter (fun id -> facts.(id).reads <- facts.(id).reads + 1) reads)
     d.Elab.processes;
   let out = ref [] in
-  let add severity rule net message =
-    out := { severity; rule; net = Some net; message } :: !out
-  in
   Array.iteri
     (fun id f ->
+      let add severity rule net message =
+        out := (id, { severity; rule; net = Some net; message }) :: !out
+      in
       let net = d.Elab.nets.(id) in
       let name = net.Elab.name in
       let is_input = d.Elab.top_inputs.(id) in
@@ -111,12 +132,14 @@ let check (d : Elab.t) : finding list =
       if f.assign_drivers > 0 && f.comb_writes + f.seq_writes > 0 then
         add Error "multiple-drivers" name
           "driven by both a continuous assignment and a process"
-      else if f.assign_drivers > 1 then
+      else if f.assign_drivers > 1 && f.hard_assign_drivers > 0 then
+        (* All-tri-state driver sets are a deliberate bus and stay
+           silent; one driver that can never release makes the bus
+           contended. *)
         add Warning "multiple-drivers" name
           (Printf.sprintf
-             "%d continuous drivers (fine for a tri-state bus, suspicious \
-              otherwise)"
-             f.assign_drivers);
+             "%d continuous drivers and %d can never release the bus"
+             f.assign_drivers f.hard_assign_drivers);
       if f.seq_writes > 0 && f.comb_writes > 0 then
         add Error "seq-and-comb" name
           "written by both sequential and combinational processes";
@@ -139,9 +162,18 @@ let check (d : Elab.t) : finding list =
          if (not written) && f.reads = 0 && not f.is_edge_trigger then
            add Warning "unused-net" name "declared but never used"))
     facts;
-  List.stable_sort
-    (fun a b ->
-      compare
-        (match a.severity with Error -> 0 | Warning -> 1)
-        (match b.severity with Error -> 0 | Warning -> 1))
+  (* Deterministic, byte-stable order: (severity, rule, net id,
+     message) — never dependent on traversal or hash order. *)
+  List.sort
+    (fun (ia, a) (ib, b) ->
+      let sev f = match f.severity with Error -> 0 | Warning -> 1 in
+      let c = compare (sev a) (sev b) in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c
+        else
+          let c = Int.compare ia ib in
+          if c <> 0 then c else String.compare a.message b.message)
     (List.rev !out)
+  |> List.map snd

@@ -16,11 +16,13 @@ type finding = {
 val pp_finding : Format.formatter -> finding -> unit
 
 val check : Elab.t -> finding list
-(** All findings, errors first.  Rules:
+(** All findings in a deterministic, byte-stable order: (severity,
+    rule, net id, message), errors first.  Rules:
 
     - [multiple-drivers]: a net written by more than one continuous
-      assignment (legal for tri-state buses but suspicious for logic —
-      warning) or by both an assignment and a process (error);
+      assignment (warning — suppressed when every driver can evaluate
+      to all-z, i.e. a deliberate tri-state bus) or by both an
+      assignment and a process (error);
     - [reg-never-written]: a declared register no process assigns;
     - [wire-never-driven]: a wire with no driver that is read;
     - [unused-net]: declared but never read or written (warning);

@@ -17,5 +17,6 @@ let () =
       ("control", Test_control.suite);
       ("harness", Test_harness.suite);
       ("ext", Test_ext.suite);
+      ("analysis", Test_analysis.suite);
       ("pp2", Test_pp2.suite);
     ]
