@@ -1,0 +1,28 @@
+(* Machine-readable mutation-score snapshot.
+
+     dune exec bench/mutation_snapshot.exe [-- OUT.json]
+
+   Runs the full mutation kill campaign over the PP control HDL —
+   every structured mutant, the transition-tour vectors and the
+   size-matched random baseline — and writes the campaign report
+   (kill rates per operator family, tour vs random, survivor list)
+   as JSON.  The report contains no timings, so the committed file
+   only changes when the mutation score itself changes. *)
+
+let () =
+  let out =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_mutation.json"
+  in
+  let design = Avp_pp.Control_hdl.parse () in
+  let tr = Avp_fsm.Translate.translate (Avp_hdl.Elab.elaborate design) in
+  let graph = Avp_enum.State_graph.enumerate tr.Avp_fsm.Translate.model in
+  let tours = Avp_tour.Tour_gen.generate graph in
+  let domains = Avp_enum.State_graph.default_domains () in
+  let report =
+    Avp_mutate.Campaign.run ~seed:1 ~domains ~design ~tr ~graph ~tours ()
+  in
+  let oc = open_out out in
+  output_string oc (Avp_mutate.Campaign.to_json report);
+  close_out oc;
+  Format.printf "%a" Avp_mutate.Campaign.pp_report report;
+  Printf.printf "wrote %s\n" out

@@ -187,8 +187,113 @@ let vectors_cmd =
     (Cmd.info "vectors" ~doc:"Emit force/release test-vector files.")
     Term.(const run $ file_arg $ top_arg $ limit_arg $ out_arg)
 
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"PRNG seed for the random baselines; a fixed seed makes the \
+              whole run byte-reproducible.")
+
+let mutate_cmd =
+  let open Avp_mutate in
+  let run file top ops seed budget json domains limit gate =
+    let src =
+      if file = "pp" then Avp_pp.Control_hdl.source else read_file file
+    in
+    let names =
+      List.concat_map (String.split_on_char ',') ops
+      |> List.filter (fun s -> s <> "")
+    in
+    match
+      List.partition_map
+        (fun n ->
+          match Op.family_of_name n with
+          | Some f -> Left f
+          | None -> Right n)
+        names
+    with
+    | _, (bad :: _) ->
+      Format.eprintf
+        "avp mutate: unknown operator family '%s' (known: %s)@." bad
+        (String.concat ", " (List.map Op.family_name Op.all_families));
+      2
+    | families, [] ->
+      let families = match families with [] -> None | l -> Some l in
+      let design = Parser.parse src in
+      let tr = Translate.translate (Elab.elaborate ?top design) in
+      let graph = State_graph.enumerate ?domains tr.Translate.model in
+      let tours = Tour_gen.generate ?instr_limit:limit graph in
+      let domains =
+        match domains with
+        | Some d -> d
+        | None -> State_graph.default_domains ()
+      in
+      let report =
+        Campaign.run ?families ~seed ?budget ~domains ?top ~design ~tr
+          ~graph ~tours ()
+      in
+      if json then print_string (Campaign.to_json report)
+      else Format.printf "%a" Campaign.pp_report report;
+      (match gate with
+       | None -> 0
+       | Some floor ->
+         if report.Campaign.tour_rate < report.Campaign.random_rate then begin
+           Format.eprintf
+             "avp mutate: GATE FAILED: tour kill-rate %.4f below the random \
+              baseline %.4f@."
+             report.Campaign.tour_rate report.Campaign.random_rate;
+           1
+         end
+         else if report.Campaign.tour_rate < floor then begin
+           Format.eprintf
+             "avp mutate: GATE FAILED: tour kill-rate %.4f below the \
+              committed floor %.4f@."
+             report.Campaign.tour_rate floor;
+           1
+         end
+         else 0)
+  in
+  let ops_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "ops" ] ~docv:"FAMILY"
+          ~doc:"Operator families to apply (comma-separated, repeatable; \
+                default all): cond-negate, op-swap, stuck-at, \
+                const-off-by-one, drop-assign, tri-enable.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Sample at most $(docv) mutants (seeded, deterministic; \
+                default: all).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the full report as JSON.  Contains no timings, so \
+                output is byte-identical across runs and $(b,-j) values.")
+  in
+  let gate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gate" ] ~docv:"RATE"
+          ~doc:"Exit 1 unless the tour kill-rate is at least $(docv) and \
+                at least the random baseline's kill-rate.")
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:"Run a mutation kill campaign: structured mutants of the \
+             design, tour vectors vs a size-matched random baseline.")
+    Term.(
+      const run $ file_arg $ top_arg $ ops_arg $ seed_arg $ budget_arg
+      $ json_arg $ domains_arg $ limit_arg $ gate_arg)
+
 let validate_cmd =
-  let run bug limit domains =
+  let run bug limit domains seed =
     let cfg = Avp_pp.Control_model.default in
     let model = Avp_pp.Control_model.model cfg in
     let graph = State_graph.enumerate model in
@@ -203,7 +308,7 @@ let validate_cmd =
         ~instructions_of_edge:weigh graph
     in
     let rows =
-      Avp_harness.Campaign.table_2_1 ?domains ~cfg ~graph ~tours ()
+      Avp_harness.Campaign.table_2_1 ~seed ?domains ~cfg ~graph ~tours ()
     in
     let rows =
       match bug with
@@ -226,7 +331,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Run the Protocol Processor validation campaign (Table 2.1).")
-    Term.(const run $ bug_arg $ limit_arg $ domains_arg)
+    Term.(const run $ bug_arg $ limit_arg $ domains_arg $ seed_arg)
 
 let lint_cmd =
   let open Avp_analysis in
@@ -393,7 +498,7 @@ let main =
     (Cmd.info "avp" ~version:"1.0.0" ~doc)
     [
       translate_cmd; enumerate_cmd; tour_cmd; vectors_cmd; replay_cmd;
-      lint_cmd; validate_cmd; errata_cmd;
+      lint_cmd; validate_cmd; mutate_cmd; errata_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -219,6 +219,8 @@ let pp_design ppf d =
 let find_module design name =
   List.find_opt (fun m -> String.equal m.m_name name) design
 
+let equal_design (a : design) (b : design) = a = b
+
 let dedup names =
   let seen = Hashtbl.create 16 in
   List.filter

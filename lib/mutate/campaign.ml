@@ -1,0 +1,380 @@
+open Avp_fsm
+open Avp_enum
+
+type classification =
+  | Stillborn of string
+  | Killed_static of string
+  | Killed of { by_tour : bool; by_random : bool; detail : string }
+  | Equivalent
+  | Survived of string
+
+type result = { mutant : Gen.mutant; cls : classification }
+
+type family_score = {
+  family : Op.family;
+  total : int;
+  stillborn : int;
+  killed_static : int;
+  equivalent : int;
+  killed_tour : int;
+  killed_random : int;
+  survived : int;
+  candidates : int;
+}
+
+type report = {
+  design : string;
+  seed : int;
+  total : int;
+  results : result array;
+  families : family_score list;
+  candidates : int;
+  tour_killed : int;
+  random_killed : int;
+  tour_rate : float;
+  random_rate : float;
+  tour_cycles : int;
+  random_cycles : int;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Random baseline                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let random_tours ~seed (model : Model.t) (graph : State_graph.t)
+    (tours : Avp_tour.Tour_gen.t) =
+  let rng = Random.State.make [| 0x6261736c; seed |] in
+  let num_choices = Model.num_choices model in
+  let traces =
+    Array.map
+      (fun trace ->
+        let len = Array.length trace in
+        let cur = ref (State_graph.reset_id graph) in
+        Array.init len (fun _ ->
+            let src = !cur in
+            let choice = Random.State.int rng num_choices in
+            let nxt =
+              model.Model.next
+                graph.State_graph.states.(src)
+                (Model.choice_of_index model choice)
+            in
+            let dst =
+              match State_graph.find_state graph nxt with
+              | Some id -> id
+              | None ->
+                (* Enumeration is total over reachable states. *)
+                assert false
+            in
+            cur := dst;
+            { Avp_tour.Tour_gen.src; dst; choice; fresh = false }))
+      tours.Avp_tour.Tour_gen.traces
+  in
+  let total = Array.fold_left (fun n t -> n + Array.length t) 0 traces in
+  let longest =
+    Array.fold_left (fun n t -> max n (Array.length t)) 0 traces
+  in
+  {
+    Avp_tour.Tour_gen.traces;
+    stats =
+      {
+        Avp_tour.Tour_gen.num_traces = Array.length traces;
+        edge_traversals = total;
+        instructions = total;
+        longest_trace_edges = longest;
+        longest_trace_instructions = longest;
+        traces_hitting_limit = 0;
+        gen_time_s = 0.;
+      };
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Per-mutant classification                                        *)
+(* ---------------------------------------------------------------- *)
+
+let output_ports (design : Avp_hdl.Ast.design) ~top =
+  match Avp_hdl.Ast.find_module design top with
+  | None -> [||]
+  | Some m ->
+    List.concat_map
+      (function
+        | Avp_hdl.Ast.Port_decl (Avp_hdl.Ast.Output, _, names, _) -> names
+        | _ -> [])
+      m.Avp_hdl.Ast.m_items
+    |> Array.of_list
+
+let guard f =
+  match f () with
+  | Ok _ -> None
+  | Error m -> Some (Format.asprintf "%a" Avp_vectors.Replay.pp_mismatch m)
+  | exception Translate.Unsupported msg ->
+    (* The mutant drove a checked net to X/Z: the predicted/actual
+       comparison itself becomes impossible — the Z-latch shape. *)
+    Some ("checked net left the defined domain: " ^ msg)
+  | exception e -> Some ("replay raised: " ^ Printexc.to_string e)
+
+let classify ~top ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
+    ~tour_out ~rand_out (m : Gen.mutant) =
+  match Filter.vet ?top m.Gen.design with
+  | `Stillborn msg -> Stillborn msg
+  | `Static msg -> Killed_static msg
+  | `Ok dut -> (
+    (* Tour oracle: per-cycle state predictions from the enumerated
+       graph (the tour knows the transition taken every cycle), plus
+       the expected outputs.  Random oracle: outputs only — golden-
+       model lockstep is all the observability random vectors have. *)
+    let tour =
+      match
+        guard (fun () ->
+            Avp_vectors.Replay.check ~dut ~vectors:tvecs tr graph tours)
+      with
+      | Some d -> Some d
+      | None ->
+        guard (fun () ->
+            Avp_vectors.Replay.check_nets ~dut tr ~nets:outs
+              ~predicted:tour_out tvecs)
+    in
+    let random =
+      guard (fun () ->
+          Avp_vectors.Replay.check_nets ~dut tr ~nets:outs
+            ~predicted:rand_out rvecs)
+    in
+    match (tour, random) with
+    | None, None -> (
+      match Filter.equivalent ~max_states:max_equiv_states ~pristine:graph dut with
+      | `Equivalent -> Equivalent
+      | `Different why | `Unknown why -> Survived why)
+    | Some d, r ->
+      Killed { by_tour = true; by_random = r <> None; detail = d }
+    | None, Some d ->
+      Killed { by_tour = false; by_random = true; detail = d })
+
+(* ---------------------------------------------------------------- *)
+(* The campaign                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let run ?families ?(seed = 1) ?budget ?(domains = 1)
+    ?(max_equiv_states = 10_000) ?top ~design ~tr ~graph ~tours () =
+  let mutants =
+    let all = Gen.all ?families design in
+    match budget with
+    | None -> all
+    | Some budget -> Gen.sample ~seed ~budget all
+  in
+  let mutants = Array.of_list mutants in
+  let n = Array.length mutants in
+  (* Vector realization touches the pristine model (whose [next] steps
+     a shared simulator), so it happens once, here, sequentially; the
+     resulting vectors are immutable and shared by every domain. *)
+  let rtours = random_tours ~seed tr.Translate.model graph tours in
+  let tvecs = Avp_vectors.Replay.vectors tr tours in
+  let rvecs = Avp_vectors.Replay.vectors tr rtours in
+  let outs = output_ports design ~top:tr.Translate.elab.Avp_hdl.Elab.top in
+  let tour_out = Array.map (Avp_vectors.Replay.record tr ~nets:outs) tvecs in
+  let rand_out = Array.map (Avp_vectors.Replay.record tr ~nets:outs) rvecs in
+  let cycles vecs =
+    Array.fold_left (fun acc v -> acc + Array.length v) 0 vecs
+  in
+  let out = Array.make n Equivalent in
+  let work i =
+    out.(i) <-
+      classify ~top ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
+        ~tour_out ~rand_out
+        mutants.(i)
+  in
+  let domains = max 1 (min domains (max 1 n)) in
+  if domains = 1 then
+    for i = 0 to n - 1 do
+      work i
+    done
+  else
+    Pool.with_pool ~domains (fun pool ->
+        Pool.run pool (fun slot ->
+            let i = ref slot in
+            while !i < n do
+              work !i;
+              i := !i + domains
+            done));
+  let results =
+    Array.init n (fun i -> { mutant = mutants.(i); cls = out.(i) })
+  in
+  let score family =
+    let of_family r = r.mutant.Gen.descr.Op.family = family in
+    let count p = Array.fold_left
+        (fun acc r -> if of_family r && p r.cls then acc + 1 else acc)
+        0 results
+    in
+    let total = count (fun _ -> true) in
+    let stillborn = count (function Stillborn _ -> true | _ -> false) in
+    let killed_static =
+      count (function Killed_static _ -> true | _ -> false)
+    in
+    let equivalent = count (function Equivalent -> true | _ -> false) in
+    let killed_tour =
+      count (function Killed { by_tour; _ } -> by_tour | _ -> false)
+    in
+    let killed_random =
+      count (function Killed { by_random; _ } -> by_random | _ -> false)
+    in
+    let survived = count (function Survived _ -> true | _ -> false) in
+    {
+      family;
+      total;
+      stillborn;
+      killed_static;
+      equivalent;
+      killed_tour;
+      killed_random;
+      survived;
+      candidates = total - stillborn - killed_static - equivalent;
+    }
+  in
+  let families =
+    List.filter_map
+      (fun f ->
+        let s = score f in
+        if s.total = 0 then None else Some s)
+      Op.all_families
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 families in
+  let candidates = sum (fun s -> s.candidates) in
+  let tour_killed = sum (fun s -> s.killed_tour) in
+  let random_killed = sum (fun s -> s.killed_random) in
+  let rate k = if candidates = 0 then 0. else float_of_int k /. float_of_int candidates in
+  {
+    design = tr.Translate.elab.Avp_hdl.Elab.top;
+    seed;
+    total = n;
+    results;
+    families;
+    candidates;
+    tour_killed;
+    random_killed;
+    tour_rate = rate tour_killed;
+    random_rate = rate random_killed;
+    tour_cycles = cycles tvecs;
+    random_cycles = cycles rvecs;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Rendering                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let class_name = function
+  | Stillborn _ -> "stillborn"
+  | Killed_static _ -> "killed-static"
+  | Killed _ -> "killed"
+  | Equivalent -> "equivalent"
+  | Survived _ -> "survived"
+
+let class_note = function
+  | Stillborn m | Killed_static m | Survived m -> m
+  | Killed { detail; _ } -> detail
+  | Equivalent -> ""
+
+let survivors report =
+  Array.to_list report.results
+  |> List.filter (fun r -> match r.cls with Survived _ -> true | _ -> false)
+
+let to_json report =
+  let esc = Avp_analysis.Finding.json_escape in
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sum f =
+    List.fold_left (fun acc s -> acc + f s) 0 report.families
+  in
+  p "{\n";
+  p "  \"design\": \"%s\",\n" (esc report.design);
+  p "  \"seed\": %d,\n" report.seed;
+  p "  \"mutants\": %d,\n" report.total;
+  p "  \"stillborn\": %d,\n" (sum (fun s -> s.stillborn));
+  p "  \"killed_static\": %d,\n" (sum (fun s -> s.killed_static));
+  p "  \"equivalent\": %d,\n" (sum (fun s -> s.equivalent));
+  p "  \"candidates\": %d,\n" report.candidates;
+  p "  \"tour\": {\"killed\": %d, \"rate\": %.4f, \"cycles\": %d},\n"
+    report.tour_killed report.tour_rate report.tour_cycles;
+  p "  \"random\": {\"killed\": %d, \"rate\": %.4f, \"cycles\": %d},\n"
+    report.random_killed report.random_rate report.random_cycles;
+  p "  \"families\": [\n";
+  List.iteri
+    (fun i s ->
+      p
+        "    {\"family\": \"%s\", \"total\": %d, \"stillborn\": %d, \
+         \"killed_static\": %d, \"equivalent\": %d, \"killed_tour\": %d, \
+         \"killed_random\": %d, \"survived\": %d, \"candidates\": %d}%s\n"
+        (Op.family_name s.family) s.total s.stillborn s.killed_static
+        s.equivalent s.killed_tour s.killed_random s.survived s.candidates
+        (if i = List.length report.families - 1 then "" else ","))
+    report.families;
+  p "  ],\n";
+  p "  \"results\": [\n";
+  Array.iteri
+    (fun i r ->
+      let d = r.mutant.Gen.descr in
+      let extra =
+        match r.cls with
+        | Killed { by_tour; by_random; _ } ->
+          Printf.sprintf ", \"by_tour\": %b, \"by_random\": %b" by_tour
+            by_random
+        | _ -> ""
+      in
+      p
+        "    {\"id\": %d, \"family\": \"%s\", \"loc\": \"%d:%d\", \
+         \"detail\": \"%s\", \"class\": \"%s\"%s, \"note\": \"%s\"}%s\n"
+        r.mutant.Gen.id
+        (Op.family_name d.Op.family)
+        d.Op.loc.Avp_hdl.Ast.line d.Op.loc.Avp_hdl.Ast.col
+        (esc d.Op.detail) (class_name r.cls) extra
+        (esc (class_note r.cls))
+        (if i = Array.length report.results - 1 then "" else ","))
+    report.results;
+  p "  ],\n";
+  p "  \"survivors\": [\n";
+  let survs = survivors report in
+  List.iteri
+    (fun i r ->
+      let d = r.mutant.Gen.descr in
+      p
+        "    {\"id\": %d, \"family\": \"%s\", \"loc\": \"%d:%d\", \
+         \"detail\": \"%s\", \"note\": \"%s\"}%s\n"
+        r.mutant.Gen.id
+        (Op.family_name d.Op.family)
+        d.Op.loc.Avp_hdl.Ast.line d.Op.loc.Avp_hdl.Ast.col
+        (esc d.Op.detail)
+        (esc (class_note r.cls))
+        (if i = List.length survs - 1 then "" else ","))
+    survs;
+  p "  ]\n";
+  p "}\n";
+  Buffer.contents buf
+
+let pp_report ppf report =
+  Format.fprintf ppf
+    "mutation campaign on %s: %d mutants (seed %d)@." report.design
+    report.total report.seed;
+  Format.fprintf ppf
+    "  %-18s %5s %5s %6s %6s %5s %5s %5s@." "family" "total" "cand"
+    "tour" "rand" "equiv" "surv" "rej";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-18s %5d %5d %6d %6d %5d %5d %5d@."
+        (Op.family_name s.family)
+        s.total s.candidates s.killed_tour s.killed_random s.equivalent
+        s.survived
+        (s.stillborn + s.killed_static))
+    report.families;
+  Format.fprintf ppf
+    "  tour kill-rate %.1f%% (%d/%d, %d cycles) | random kill-rate %.1f%% \
+     (%d/%d, %d cycles)@."
+    (100. *. report.tour_rate) report.tour_killed report.candidates
+    report.tour_cycles
+    (100. *. report.random_rate)
+    report.random_killed report.candidates report.random_cycles;
+  match survivors report with
+  | [] -> Format.fprintf ppf "  no survivors@."
+  | survs ->
+    Format.fprintf ppf "  survivors (%d):@." (List.length survs);
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "    #%d %a — %s@." r.mutant.Gen.id Op.pp_descr
+          r.mutant.Gen.descr (class_note r.cls))
+      survs

@@ -1,0 +1,28 @@
+type mutant = {
+  id : int;
+  descr : Op.descr;
+  design : Avp_hdl.Ast.design;
+}
+
+let all ?families design =
+  List.mapi
+    (fun id (descr, design) -> { id; descr; design })
+    (Op.mutations ?families design)
+
+let sample ~seed ~budget mutants =
+  let n = List.length mutants in
+  if budget >= n then mutants
+  else begin
+    let arr = Array.of_list mutants in
+    let rng = Random.State.make [| 0x6d757461; seed |] in
+    (* Partial Fisher-Yates: the first [budget] slots are a uniform
+       sample, selection depending only on [seed]. *)
+    for i = 0 to budget - 1 do
+      let j = i + Random.State.int rng (n - i) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    Array.sub arr 0 budget |> Array.to_list
+    |> List.sort (fun a b -> compare a.id b.id)
+  end

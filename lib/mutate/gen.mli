@@ -1,0 +1,22 @@
+(** Mutant generation: enumerate every operator site of a design,
+    assign stable identifiers, and (optionally) draw a seeded sample
+    within a mutant budget.
+
+    Identifiers index the full deterministic enumeration for the
+    selected families, so a sampled subset keeps the ids it would have
+    in the exhaustive run — reports from bounded CI campaigns and full
+    bench campaigns name the same mutants the same way. *)
+
+type mutant = {
+  id : int;  (** index in the exhaustive enumeration *)
+  descr : Op.descr;
+  design : Avp_hdl.Ast.design;
+}
+
+val all : ?families:Op.family list -> Avp_hdl.Ast.design -> mutant list
+(** Every single-point mutant, in deterministic site order. *)
+
+val sample : seed:int -> budget:int -> mutant list -> mutant list
+(** A deterministic pseudo-random subset of at most [budget] mutants
+    (Fisher-Yates on a private PRNG stream), returned in id order.
+    The same [seed] always selects the same subset. *)

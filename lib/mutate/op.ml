@@ -1,0 +1,304 @@
+open Avp_hdl
+open Ast
+
+type family =
+  | Cond_negate
+  | Op_swap
+  | Stuck_at
+  | Const_off_by_one
+  | Drop_assign
+  | Tri_enable
+
+let all_families =
+  [ Cond_negate; Op_swap; Stuck_at; Const_off_by_one; Drop_assign;
+    Tri_enable ]
+
+let family_name = function
+  | Cond_negate -> "cond-negate"
+  | Op_swap -> "op-swap"
+  | Stuck_at -> "stuck-at"
+  | Const_off_by_one -> "const-off-by-one"
+  | Drop_assign -> "drop-assign"
+  | Tri_enable -> "tri-enable"
+
+let family_of_name s =
+  List.find_opt (fun f -> String.equal (family_name f) s) all_families
+
+type descr = {
+  family : family;
+  modname : string;
+  loc : Ast.loc;
+  detail : string;
+}
+
+let pp_descr ppf d =
+  Format.fprintf ppf "[%s] %s:%a %s" (family_name d.family) d.modname
+    pp_loc d.loc d.detail
+
+let expr_str e = Format.asprintf "%a" pp_expr e
+let stmt_str s = Format.asprintf "%a" pp_stmt s
+let lv_str l = Format.asprintf "%a" pp_lvalue l
+
+let lit_str v =
+  Printf.sprintf "%d'b%s" (Avp_logic.Bv.width v) (Avp_logic.Bv.to_string v)
+
+(* ---------------------------------------------------------------- *)
+(* Width environment (for stuck-at constants)                       *)
+(* ---------------------------------------------------------------- *)
+
+let widths_of_module m =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Port_decl (_, r, names, _) ->
+        List.iter (fun n -> Hashtbl.replace tbl n (range_width r)) names
+      | Net_decl { d_range; d_names; _ } ->
+        List.iter (fun n -> Hashtbl.replace tbl n (range_width d_range)) d_names
+      | _ -> ())
+    m.m_items;
+  tbl
+
+let rec lvalue_width tbl = function
+  | Lident n -> ( match Hashtbl.find_opt tbl n with Some w -> w | None -> 1)
+  | Lindex _ -> 1
+  | Lrange (_, hi, lo) -> abs (hi - lo) + 1
+  | Lconcat ls -> List.fold_left (fun a l -> a + lvalue_width tbl l) 0 ls
+
+(* ---------------------------------------------------------------- *)
+(* Local rewrites                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let negate = function Unop (Not, c) -> c | c -> Unop (Not, c)
+
+let rec has_z_literal = function
+  | Literal v ->
+    let z = ref false in
+    for i = 0 to Avp_logic.Bv.width v - 1 do
+      if Avp_logic.Bit.equal (Avp_logic.Bv.get v i) Avp_logic.Bit.Z then
+        z := true
+    done;
+    !z
+  | Concat es -> List.exists has_z_literal es
+  | Repeat (_, e) -> has_z_literal e
+  | _ -> false
+
+let swap_op = function
+  | Eq -> Some Neq
+  | Neq -> Some Eq
+  | Ceq -> Some Cneq
+  | Cneq -> Some Ceq
+  | Lt -> Some Le
+  | Le -> Some Lt
+  | Gt -> Some Ge
+  | Ge -> Some Gt
+  | Land -> Some Lor
+  | Lor -> Some Land
+  | Band -> Some Bor
+  | Bor -> Some Band
+  | Add | Sub | Mul | Bxor | Shl | Shr -> None
+
+(* Single-point rewrites of an expression: variants at this node first,
+   then (depth-first, left-to-right) variants inside each child. *)
+let rec mutate_expr e : (family * string * expr) list =
+  let here =
+    match e with
+    | Binop (op, a, b) -> (
+      match swap_op op with
+      | Some op' ->
+        [
+          ( Op_swap,
+            Printf.sprintf "swap %s -> %s in %s" (binop_str op)
+              (binop_str op') (expr_str e),
+            Binop (op', a, b) );
+        ]
+      | None -> [])
+    | Literal v
+      when Avp_logic.Bv.width v >= 2 && Avp_logic.Bv.is_defined v ->
+      let v' =
+        Avp_logic.Bv.add v (Avp_logic.Bv.of_int ~width:(Avp_logic.Bv.width v) 1)
+      in
+      [
+        ( Const_off_by_one,
+          Printf.sprintf "off-by-one %s -> %s" (lit_str v) (lit_str v'),
+          Literal v' );
+      ]
+    | Ternary (c, a, b) when has_z_literal a || has_z_literal b ->
+      [
+        ( Tri_enable,
+          Printf.sprintf "invert tri-state enable %s" (expr_str c),
+          Ternary (negate c, a, b) );
+      ]
+    | Ternary (c, a, b) ->
+      [
+        ( Cond_negate,
+          Printf.sprintf "negate ternary condition %s" (expr_str c),
+          Ternary (negate c, a, b) );
+      ]
+    | _ -> []
+  in
+  let lift rebuild = List.map (fun (f, d, e') -> (f, d, rebuild e')) in
+  let inside =
+    match e with
+    | Literal _ | Ident _ | Range _ -> []
+    | Index (s, i) -> lift (fun i' -> Index (s, i')) (mutate_expr i)
+    | Unop (op, a) -> lift (fun a' -> Unop (op, a')) (mutate_expr a)
+    | Binop (op, a, b) ->
+      lift (fun a' -> Binop (op, a', b)) (mutate_expr a)
+      @ lift (fun b' -> Binop (op, a, b')) (mutate_expr b)
+    | Ternary (c, a, b) ->
+      lift (fun c' -> Ternary (c', a, b)) (mutate_expr c)
+      @ lift (fun a' -> Ternary (c, a', b)) (mutate_expr a)
+      @ lift (fun b' -> Ternary (c, a, b')) (mutate_expr b)
+    | Concat es ->
+      List.concat
+        (List.mapi
+           (fun i ei ->
+             lift
+               (fun ei' ->
+                 Concat (List.mapi (fun j ej -> if i = j then ei' else ej) es))
+               (mutate_expr ei))
+           es)
+    | Repeat (n, a) -> lift (fun a' -> Repeat (n, a')) (mutate_expr a)
+  in
+  here @ inside
+
+(* ---------------------------------------------------------------- *)
+(* Statements                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* [loc] is the nearest enclosing position with one (assignments carry
+   their own; [if]/[case] structure inherits it). *)
+let rec mutate_stmt ~loc s : (family * string * Ast.loc * stmt) list =
+  let lift_e ~loc rebuild muts =
+    List.map (fun (f, d, e') -> (f, d, loc, rebuild e')) muts
+  in
+  let lift_s rebuild muts =
+    List.map (fun (f, d, l, s') -> (f, d, l, rebuild s')) muts
+  in
+  match s with
+  | Block ss ->
+    List.concat
+      (List.mapi
+         (fun i si ->
+           lift_s
+             (fun si' ->
+               Block (List.mapi (fun j sj -> if i = j then si' else sj) ss))
+             (mutate_stmt ~loc si))
+         ss)
+  | Blocking (lv, e, sloc) ->
+    lift_e ~loc:sloc (fun e' -> Blocking (lv, e', sloc)) (mutate_expr e)
+  | Nonblocking (lv, e, sloc) ->
+    (Drop_assign, Printf.sprintf "drop %s" (stmt_str s), sloc, Nop)
+    :: lift_e ~loc:sloc (fun e' -> Nonblocking (lv, e', sloc)) (mutate_expr e)
+  | If (c, t, eo) ->
+    let guarded = String.concat "," (stmt_writes s) in
+    (( Cond_negate,
+       Printf.sprintf "negate if %s guarding %s" (expr_str c) guarded,
+       loc,
+       If (negate c, t, eo) )
+    :: lift_e ~loc (fun c' -> If (c', t, eo)) (mutate_expr c))
+    @ lift_s (fun t' -> If (c, t', eo)) (mutate_stmt ~loc t)
+    @ (match eo with
+       | None -> []
+       | Some e ->
+         lift_s (fun e' -> If (c, t, Some e')) (mutate_stmt ~loc e))
+  | Case (sel, items, dflt) ->
+    lift_e ~loc (fun sel' -> Case (sel', items, dflt)) (mutate_expr sel)
+    @ List.concat
+        (List.mapi
+           (fun i (labels, body) ->
+             let rebuild_item item' =
+               Case
+                 ( sel,
+                   List.mapi (fun j it -> if i = j then item' else it) items,
+                   dflt )
+             in
+             List.concat
+               (List.mapi
+                  (fun li lab ->
+                    lift_e ~loc
+                      (fun lab' ->
+                        rebuild_item
+                          ( List.mapi
+                              (fun lj l -> if li = lj then lab' else l)
+                              labels,
+                            body ))
+                      (mutate_expr lab))
+                  labels)
+             @ lift_s
+                 (fun body' -> rebuild_item (labels, body'))
+                 (mutate_stmt ~loc body))
+           items)
+    @ (match dflt with
+       | None -> []
+       | Some d ->
+         lift_s (fun d' -> Case (sel, items, Some d')) (mutate_stmt ~loc d))
+  | Nop -> []
+
+(* ---------------------------------------------------------------- *)
+(* Items and design                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let stuck_values w =
+  [
+    ("0", Avp_logic.Bv.zero w);
+    ("1", Avp_logic.Bv.ones w);
+    ("x", Avp_logic.Bv.all_x w);
+  ]
+
+let mutate_item widths item : (family * string * Ast.loc * item) list =
+  match item with
+  | Assign (lv, e, loc) ->
+    let w = lvalue_width widths lv in
+    let stuck =
+      List.filter_map
+        (fun (name, const) ->
+          match e with
+          | Literal v when Avp_logic.Bv.equal v const -> None
+          | _ ->
+            Some
+              ( Stuck_at,
+                Printf.sprintf "stuck-at-%s %s" name (lv_str lv),
+                loc,
+                Assign (lv, Literal const, loc) ))
+        (stuck_values w)
+    in
+    stuck
+    @ List.map
+        (fun (f, d, e') -> (f, d, loc, Assign (lv, e', loc)))
+        (mutate_expr e)
+  | Always (sens, body, loc) ->
+    List.map
+      (fun (f, d, l, body') -> (f, d, l, Always (sens, body', loc)))
+      (mutate_stmt ~loc body)
+  | Port_decl _ | Net_decl _ | Instance _ | Directive _ | Initial _ -> []
+
+let mutations ?(families = all_families) (design : design) =
+  List.concat
+    (List.mapi
+       (fun mi m ->
+         let widths = widths_of_module m in
+         List.concat
+           (List.mapi
+              (fun ii item ->
+                List.map
+                  (fun (family, detail, loc, item') ->
+                    let m' =
+                      {
+                        m with
+                        m_items =
+                          List.mapi
+                            (fun j it -> if j = ii then item' else it)
+                            m.m_items;
+                      }
+                    in
+                    let design' =
+                      List.mapi
+                        (fun j md -> if j = mi then m' else md)
+                        design
+                    in
+                    ( { family; modname = m.m_name; loc; detail }, design' ))
+                  (mutate_item widths item))
+              m.m_items))
+       design)
+  |> List.filter (fun (d, _) -> List.mem d.family families)

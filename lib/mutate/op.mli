@@ -1,0 +1,60 @@
+(** Structured RTL mutation operators.
+
+    Each operator family applies one small, syntactically well-formed
+    change to the parsed design — never a string substitution — and
+    mirrors one of the paper's control-bug classes:
+
+    - {!Cond_negate}: negate the condition of an [if] or a plain
+      ternary (wrong-polarity guards, the Bug #1 priority family);
+    - {!Op_swap}: swap a relational or logical operator for its dual
+      ([==]/[!=], [<]/[<=], [&]/[|], ...) — dropped or widened
+      qualifiers in conjunction bugs;
+    - {!Stuck_at}: replace the driver of a continuous assignment with
+      a constant 0, 1 or X — dead control wires and X injection;
+    - {!Const_off_by_one}: increment a multi-bit constant (state
+      encodings, case labels) modulo its width — wrong-successor
+      state-machine bugs, the Bug #4 fixup family;
+    - {!Drop_assign}: delete one nonblocking assignment — lost state
+      updates, the stuck-FSM family;
+    - {!Tri_enable}: negate the enable of a tri-state ternary (one
+      with a [z] arm) — the Bug #5 / Z-latch shape.
+
+    Site enumeration is purely structural and deterministic: mutants
+    are emitted in (module, item, depth-first) order, so a mutant's
+    index is stable for a given source and family selection. *)
+
+type family =
+  | Cond_negate
+  | Op_swap
+  | Stuck_at
+  | Const_off_by_one
+  | Drop_assign
+  | Tri_enable
+
+val all_families : family list
+(** Fixed presentation order, used everywhere scores are reported. *)
+
+val family_name : family -> string
+(** Kebab-case name, e.g. ["cond-negate"] — the [--ops] syntax. *)
+
+val family_of_name : string -> family option
+
+type descr = {
+  family : family;
+  modname : string;  (** module the mutation lives in *)
+  loc : Avp_hdl.Ast.loc;
+      (** nearest enclosing statement/item position in the source *)
+  detail : string;  (** human-readable one-liner, deterministic *)
+}
+
+val pp_descr : Format.formatter -> descr -> unit
+
+val mutations :
+  ?families:family list ->
+  Avp_hdl.Ast.design ->
+  (descr * Avp_hdl.Ast.design) list
+(** Every single-point mutant of the design for the selected families
+    (default: all).  Each returned design differs from the input in
+    exactly one operator application; [Initial] blocks, declarations
+    and instance connections are never mutated.  The order is
+    deterministic. *)

@@ -32,12 +32,14 @@ let vectors_of_trace (map : t) (model : Model.t)
       { Vector.actions })
     trace
 
-let apply (vectors : Vector.t) sim ~clock ~reset ~on_cycle =
+let apply ?(on_reset = fun () -> ()) (vectors : Vector.t) sim ~clock ~reset
+    ~on_cycle =
   let one = Avp_logic.Bv.of_int ~width:1 1 in
   let zero = Avp_logic.Bv.of_int ~width:1 0 in
   Avp_hdl.Sim.set sim reset one;
   Avp_hdl.Sim.step sim clock;
   Avp_hdl.Sim.set sim reset zero;
+  on_reset ();
   Array.iteri
     (fun i { Vector.actions } ->
       List.iter

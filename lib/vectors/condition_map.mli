@@ -21,7 +21,10 @@ val vectors_of_trace :
 (** One vector per tour edge, from the edge's recorded condition. *)
 
 val apply :
+  ?on_reset:(unit -> unit) ->
   Vector.t -> Avp_hdl.Sim.t -> clock:string -> reset:string ->
   on_cycle:(int -> unit) -> unit
 (** Resets the design, then plays the vectors cycle by cycle,
-    invoking [on_cycle] after each clock edge (for checking). *)
+    invoking [on_cycle] after each clock edge (for checking).
+    [on_reset] fires once after the reset cycle, before the first
+    vector — the point where the post-reset state is observable. *)

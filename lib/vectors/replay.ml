@@ -14,84 +14,67 @@ type mismatch = {
 }
 
 let pp_mismatch ppf m =
-  Format.fprintf ppf
-    "trace %d cycle %d: %s = %d but the tour predicted %d" m.trace m.cycle
-    m.net m.actual m.predicted
+  if m.cycle < 0 then
+    Format.fprintf ppf
+      "trace %d at reset release: %s = %d but the tour predicted %d" m.trace
+      m.net m.actual m.predicted
+  else
+    Format.fprintf ppf
+      "trace %d cycle %d: %s = %d but the tour predicted %d" m.trace m.cycle
+      m.net m.actual m.predicted
 
 exception Found of mismatch
 
-(* Replay one trace on a fresh simulator; returns the cycles consumed
-   and the first in-trace mismatch, if any. *)
-let run_trace ~design ~(tr : Translate.result)
-    ~(graph : Avp_enum.State_graph.t) ti trace vectors =
+(* Replay one vector sequence on a fresh simulator, comparing the
+   given nets against [predict cycle net_index] after reset (cycle -1)
+   and after every clock edge; returns the cycles consumed and the
+   first mismatch, if any. *)
+let run_nets ~design ~(tr : Translate.result) ~(nets : string array) ~predict
+    ti vectors =
   let cycles = ref 0 in
   let sim = Avp_hdl.Sim.create design in
+  let compare_at cycle =
+    Array.iteri
+      (fun vi net ->
+        let predicted = predict cycle vi in
+        let actual = Translate.value_of_bv (Avp_hdl.Sim.get sim net) in
+        if actual <> predicted then
+          raise (Found { trace = ti; cycle; net; actual; predicted }))
+      nets
+  in
   match
     Condition_map.apply vectors sim ~clock:tr.Translate.clock
-      ~reset:tr.Translate.reset ~on_cycle:(fun i ->
+      ~reset:tr.Translate.reset
+      ~on_reset:(fun () -> compare_at (-1))
+      ~on_cycle:(fun i ->
         incr cycles;
-        Array.iteri
-          (fun vi (b : Translate.binding) ->
-            let predicted =
-              graph.Avp_enum.State_graph.states.(trace.(i)
-                                                   .Avp_tour.Tour_gen.dst)
-                .(vi)
-            in
-            let actual =
-              Translate.value_of_bv
-                (Avp_hdl.Sim.get sim b.Translate.net.Avp_hdl.Elab.name)
-            in
-            if actual <> predicted then
-              raise
-                (Found
-                   {
-                     trace = ti;
-                     cycle = i;
-                     net = b.Translate.net.Avp_hdl.Elab.name;
-                     actual;
-                     predicted;
-                   }))
-          tr.Translate.state_bindings)
+        compare_at i)
   with
   | () -> (!cycles, None)
   | exception Found m -> (!cycles, Some m)
 
-let check ?dut ?(domains = 1) (tr : Translate.result)
-    (graph : Avp_enum.State_graph.t) (tours : Avp_tour.Tour_gen.t) =
-  let map = Condition_map.of_translation tr in
-  let model = tr.Translate.model in
-  let design = Option.value ~default:tr.Translate.elab dut in
-  let traces = tours.Avp_tour.Tour_gen.traces in
-  let n = Array.length traces in
-  (* The model's [next] may drive a shared reference simulator, so
-     vector generation stays sequential; the replay itself dominates
-     the cost and is embarrassingly parallel. *)
-  let vectors =
-    Array.map (Condition_map.vectors_of_trace map model) traces
-  in
+(* Shard traces round-robin over domains, one simulator per trace;
+   every domain works on disjoint indices of [results].  The merge is
+   deterministic and identical to the sequential left-to-right scan:
+   cycles of every trace before the first failing one count, plus the
+   failing trace's partial cycles; the reported mismatch is the
+   lowest-numbered trace's. *)
+let sharded ~domains ~n run =
   let results = Array.make n (0, None) in
-  let run ti =
-    results.(ti) <- run_trace ~design ~tr ~graph ti traces.(ti) vectors.(ti)
-  in
+  let job ti = results.(ti) <- run ti in
   let domains = max 1 (min domains (max 1 n)) in
   if domains = 1 then
     for ti = 0 to n - 1 do
-      run ti
+      job ti
     done
   else
-    (* One simulator per domain at a time, traces sharded round-robin;
-       every domain works on disjoint indices of [results]. *)
     Avp_enum.Pool.with_pool ~domains (fun pool ->
         Avp_enum.Pool.run pool (fun slot ->
             let ti = ref slot in
             while !ti < n do
-              run !ti;
+              job !ti;
               ti := !ti + domains
             done));
-  (* Deterministic merge, identical to the sequential left-to-right
-     scan: cycles of every trace before the first failing one count,
-     plus the failing trace's partial cycles; the reported mismatch is
-     the lowest-numbered trace's. *)
   let rec scan ti cycles =
     if ti = n then Ok { traces = n; cycles }
     else
@@ -100,3 +83,61 @@ let check ?dut ?(domains = 1) (tr : Translate.result)
       | _, Some m -> Error m
   in
   scan 0 0
+
+(* The model's [next] may drive a shared reference simulator, so
+   vector generation stays sequential; the replay itself dominates
+   the cost and is embarrassingly parallel. *)
+let vectors (tr : Translate.result) (tours : Avp_tour.Tour_gen.t) =
+  let map = Condition_map.of_translation tr in
+  Array.map
+    (Condition_map.vectors_of_trace map tr.Translate.model)
+    tours.Avp_tour.Tour_gen.traces
+
+let state_nets (tr : Translate.result) =
+  Array.map
+    (fun (b : Translate.binding) -> b.Translate.net.Avp_hdl.Elab.name)
+    tr.Translate.state_bindings
+
+let check ?dut ?(domains = 1) ?vectors:vecs (tr : Translate.result)
+    (graph : Avp_enum.State_graph.t) (tours : Avp_tour.Tour_gen.t) =
+  let design = Option.value ~default:tr.Translate.elab dut in
+  let traces = tours.Avp_tour.Tour_gen.traces in
+  let n = Array.length traces in
+  let vectors = match vecs with Some v -> v | None -> vectors tr tours in
+  let nets = state_nets tr in
+  sharded ~domains ~n (fun ti ->
+      let trace = traces.(ti) in
+      let predict cycle vi =
+        let state =
+          if cycle < 0 then trace.(0).Avp_tour.Tour_gen.src
+          else trace.(cycle).Avp_tour.Tour_gen.dst
+        in
+        graph.Avp_enum.State_graph.states.(state).(vi)
+      in
+      run_nets ~design ~tr ~nets ~predict ti vectors.(ti))
+
+let record ?dut (tr : Translate.result) ~(nets : string array)
+    (vectors : Vector.t) =
+  let design = Option.value ~default:tr.Translate.elab dut in
+  let rows = Array.make_matrix (Array.length vectors + 1) (Array.length nets) 0 in
+  let sim = Avp_hdl.Sim.create design in
+  let snap row =
+    Array.iteri
+      (fun vi net ->
+        rows.(row).(vi) <- Translate.value_of_bv (Avp_hdl.Sim.get sim net))
+      nets
+  in
+  Condition_map.apply vectors sim ~clock:tr.Translate.clock
+    ~reset:tr.Translate.reset
+    ~on_reset:(fun () -> snap 0)
+    ~on_cycle:(fun i -> snap (i + 1));
+  rows
+
+let check_nets ~dut ?(domains = 1) (tr : Translate.result)
+    ~(nets : string array) ~(predicted : int array array array)
+    (vectors : Vector.t array) =
+  let n = Array.length vectors in
+  sharded ~domains ~n (fun ti ->
+      let rows = predicted.(ti) in
+      let predict cycle vi = rows.(cycle + 1).(vi) in
+      run_nets ~design:dut ~tr ~nets ~predict ti vectors.(ti))

@@ -19,17 +19,33 @@ type mismatch = {
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
 
+val vectors :
+  Avp_fsm.Translate.result -> Avp_tour.Tour_gen.t -> Vector.t array
+(** The force/release vectors of every trace, precomputed once.  The
+    result is immutable and may be shared read-only across domains —
+    the mutation campaign realizes the tour (and its random baseline)
+    a single time and replays the same vectors against hundreds of
+    mutants. *)
+
+val state_nets : Avp_fsm.Translate.result -> string array
+(** Names of the annotated state nets, in state-binding order. *)
+
 val check :
   ?dut:Avp_hdl.Elab.t ->
   ?domains:int ->
+  ?vectors:Vector.t array ->
   Avp_fsm.Translate.result ->
   Avp_enum.State_graph.t ->
   Avp_tour.Tour_gen.t ->
   (stats, mismatch) result
 (** Builds a fresh simulator per trace, applies the force/release
     vectors, and compares every annotated state net against the tour's
-    predicted valuation after each clock edge.  Returns the first
-    mismatch, if any.
+    predicted valuation — at reset release (reported as cycle [-1])
+    and after each clock edge.  Returns the first mismatch, if any.
+
+    [?vectors] (default: computed by {!vectors}) supplies the
+    realized per-trace vectors, which must be positionally parallel
+    to [tours]'s traces.
 
     [?domains] (default 1) replays traces on that many OCaml domains,
     one simulator per domain, traces sharded round-robin.  The result
@@ -42,3 +58,32 @@ val check :
     generated from the specification's model then validate a modified
     implementation — the step-4 comparison at the HDL level.  Any
     divergence from the predicted state sequence is a caught bug. *)
+
+val record :
+  ?dut:Avp_hdl.Elab.t ->
+  Avp_fsm.Translate.result ->
+  nets:string array ->
+  Vector.t ->
+  int array array
+(** Plays the vectors against the design once and records the value of
+    every named net: row 0 holds the post-reset values, row [i + 1]
+    the values after cycle [i].  With the pristine design this is the
+    golden trajectory a lockstep comparison checks against.
+    @raise Avp_fsm.Translate.Unsupported if a recorded net carries
+    x/z bits. *)
+
+val check_nets :
+  dut:Avp_hdl.Elab.t ->
+  ?domains:int ->
+  Avp_fsm.Translate.result ->
+  nets:string array ->
+  predicted:int array array array ->
+  Vector.t array ->
+  (stats, mismatch) result
+(** Lockstep comparison of [dut] against per-trace trajectories in
+    {!record}'s layout (one [int array array] per vector trace):
+    the named nets are compared at reset release and after every
+    cycle.  Same sharding, determinism and merge as {!check}.  The
+    mutation campaign uses this with the design's output ports as
+    [nets] — the observability a golden-model random baseline has,
+    in contrast to the tour's per-cycle state predictions. *)

@@ -1,48 +1,86 @@
-(* HDL-level bug-catching campaign: mutate the PP control Verilog,
-   regenerate nothing — the vectors come from the pristine model —
-   and replay them against the mutated device.  Every mutant diverges
-   from the predicted state sequence (or is an equivalent mutant),
-   which is step 4 of the methodology operating wholly at the HDL
-   level. *)
+(* HDL-level bug-catching campaign: mutate the PP control Verilog with
+   the structured operators of [lib/mutate] — no string substitution —
+   and replay the pristine model's tour vectors against each mutated
+   device.  Every historical mutant expectation is kept as a golden:
+   the operator-generated counterpart of each hand-written bug must
+   still diverge from the predicted state sequence, which is step 4 of
+   the methodology operating wholly at the HDL level. *)
 
 open Avp_pp
 open Avp_fsm
 open Avp_enum
 open Avp_tour
-
-let substitute needle replacement src =
-  let nl = String.length needle in
-  let rec go i =
-    if i + nl > String.length src then
-      Alcotest.failf "mutation needle %S not found" needle
-    else if String.sub src i nl = needle then
-      String.sub src 0 i ^ replacement
-      ^ String.sub src (i + nl) (String.length src - i - nl)
-    else go (i + 1)
-  in
-  go 0
+module Op = Avp_mutate.Op
+module Gen = Avp_mutate.Gen
+module Filter = Avp_mutate.Filter
 
 (* The golden flow, built once. *)
 let golden = lazy (
-  let tr = Control_hdl.translate () in
+  let design = Control_hdl.parse () in
+  let tr = Translate.translate (Avp_hdl.Elab.elaborate design) in
   let graph = State_graph.enumerate tr.Translate.model in
   let tours = Tour_gen.generate graph in
-  (tr, graph, tours))
+  let tvecs = Avp_vectors.Replay.vectors tr tours in
+  let mutants = Gen.all design in
+  (tr, graph, tours, tvecs, mutants))
 
-let replay_mutant ~needle ~replacement =
-  let tr, graph, tours = Lazy.force golden in
-  let mutated = substitute needle replacement Control_hdl.source in
-  let dut = Avp_hdl.Elab.elaborate (Avp_hdl.Parser.parse mutated) in
-  Avp_vectors.Replay.check ~dut tr graph tours
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub hay i nn = needle || go (i + 1)
+  in
+  go 0
 
-let expect_caught name ~needle ~replacement =
-  match replay_mutant ~needle ~replacement with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.failf "%s: mutant escaped the generated vectors" name
+(* 1-based source line of the [nth] line containing [marker], in the
+   parser's numbering — keeps the golden selections robust against
+   edits to the embedded pp_control source. *)
+let line_of ?(nth = 1) marker =
+  let rec go i n = function
+    | [] -> Alcotest.failf "marker %S not in pp_control source" marker
+    | l :: tl ->
+      if contains l marker then if n = 1 then i else go (i + 1) (n - 1) tl
+      else go (i + 1) n tl
+  in
+  go 1 nth (String.split_on_char '\n' Control_hdl.source)
+
+let find_mutant ?line ~family ~details () =
+  let _, _, _, _, mutants = Lazy.force golden in
+  let matches (m : Gen.mutant) =
+    m.Gen.descr.Op.family = family
+    && List.for_all (contains m.Gen.descr.Op.detail) details
+    && (match line with
+        | None -> true
+        | Some l -> m.Gen.descr.Op.loc.Avp_hdl.Ast.line = l)
+  in
+  match List.find_opt matches mutants with
+  | Some m -> m
+  | None ->
+    Alcotest.failf "no %s mutant with details %s" (Op.family_name family)
+      (String.concat " / " details)
+
+(* Why the tour vectors kill this mutant, or [None] if they don't. *)
+let kill_detail (m : Gen.mutant) =
+  let tr, graph, tours, tvecs, _ = Lazy.force golden in
+  match Filter.vet m.Gen.design with
+  | `Stillborn msg -> Some ("stillborn: " ^ msg)
+  | `Static msg -> Some ("static: " ^ msg)
+  | `Ok dut -> (
+    match Avp_vectors.Replay.check ~dut ~vectors:tvecs tr graph tours with
+    | Ok _ -> None
+    | Error mm ->
+      Some (Format.asprintf "%a" Avp_vectors.Replay.pp_mismatch mm)
+    | exception Translate.Unsupported msg ->
+      Some ("state net left the defined domain: " ^ msg))
+
+let expect_caught name ?line ~family ~details () =
+  match kill_detail (find_mutant ?line ~family ~details ()) with
+  | Some _ -> ()
+  | None -> Alcotest.failf "%s: mutant escaped the generated vectors" name
 
 let test_golden_passes () =
-  let tr, graph, tours = Lazy.force golden in
-  match Avp_vectors.Replay.check tr graph tours with
+  let tr, graph, tours, tvecs, _ = Lazy.force golden in
+  match Avp_vectors.Replay.check ~vectors:tvecs tr graph tours with
   | Ok stats ->
     Alcotest.(check bool) "covers cycles" true
       (stats.Avp_vectors.Replay.cycles > 1000)
@@ -51,39 +89,63 @@ let test_golden_passes () =
       Avp_vectors.Replay.pp_mismatch m
 
 let test_mutant_dropped_qualifier () =
-  (* Conflict detector loses the same_line qualification. *)
-  expect_caught "dropped same_line"
-    ~needle:
-      "assign conflicts = is_mem & store_pend & ((head == CLS_SD) | \
-       same_line);"
-    ~replacement:"assign conflicts = is_mem & store_pend;"
+  (* Conflict detector loses the same_line qualification: the
+     disjunction that keeps it becomes a conjunction. *)
+  expect_caught "dropped same_line" ~family:Op.Op_swap
+    ~details:[ "swap | -> &"; "same_line" ] ()
 
 let test_mutant_wrong_priority () =
   (* I-refill no longer yields to a D-request on the handoff cycle —
-     the Bug #1 family. *)
-  expect_caught "port priority"
-    ~needle:
-      "R_REQ: if (!port_busy & mem_adv & !(drefill == R_REQ))\n          \
-       irefill <= R_FILL;"
-    ~replacement:"R_REQ: if (!port_busy & mem_adv) irefill <= R_FILL;"
+     the Bug #1 family, as the negation of the arbitration guard. *)
+  expect_caught "port priority" ~family:Op.Cond_negate
+    ~details:[ "negate if"; "port_busy"; "guarding irefill" ] ()
 
 let test_mutant_stuck_state () =
-  (* The drain of the D-refill ignores mem_adv: a stuck-at-fast FSM. *)
-  expect_caught "ignores mem_adv"
-    ~needle:"R_FILL: if (mem_adv) drefill <= R_DONE;"
-    ~replacement:"R_FILL: drefill <= R_DONE;"
+  (* The drain of the D-refill never happens: a stuck state. *)
+  expect_caught "drain dropped" ~family:Op.Drop_assign
+    ~details:[ "drop drefill <= 2'b11;" ] ()
 
 let test_mutant_missing_spill_clear () =
-  expect_caught "spill never clears"
-    ~needle:"R_DONE: if (mem_adv) begin\n          drefill <= R_IDLE;\n          spill <= 1'b0;\n        end"
-    ~replacement:"R_DONE: if (mem_adv) begin\n          drefill <= R_IDLE;\n        end"
+  expect_caught "spill never clears" ~family:Op.Drop_assign
+    ~details:[ "drop spill <= 1'b0;" ]
+    ~line:(line_of ~nth:2 "spill <= 1'b0;") ()
 
 let test_mutant_fixup_skipped () =
-  (* The fixup state collapses: irefill returns to idle straight from
-     fill — the Bug #4 family. *)
-  expect_caught "fixup skipped"
-    ~needle:"R_FILL: if (mem_adv) irefill <= R_DONE;"
-    ~replacement:"R_FILL: if (mem_adv) irefill <= R_IDLE;"
+  (* The fixup state collapses: R_DONE wraps to R_IDLE in the i-refill
+     advance — the Bug #4 family as an off-by-one state constant. *)
+  expect_caught "fixup skipped" ~family:Op.Const_off_by_one
+    ~details:[ "off-by-one 2'b11 -> 2'b00" ]
+    ~line:(line_of "irefill <= R_DONE") ()
+
+let test_mutant_conflict_without_store () =
+  (* Conflict fires for memory ops even without a pending store. *)
+  expect_caught "conflict without store" ~family:Op.Op_swap
+    ~details:[ "swap & -> |"; "store_pend" ] ()
+
+let test_mutant_store_never_pends () =
+  expect_caught "store never pends" ~family:Op.Drop_assign
+    ~details:[ "drop store_pend <= 1'b1;" ] ()
+
+let test_mutant_ext_wait_ignored () =
+  (* send/switch never stall: the Inbox/Outbox back-pressure is lost. *)
+  expect_caught "external wait ignored" ~family:Op.Stuck_at
+    ~details:[ "stuck-at-0 ext_wait" ] ()
+
+let test_mutant_dirty_ignored () =
+  (* Fill-before-spill never parks a victim. *)
+  expect_caught "dirty victim ignored" ~family:Op.Drop_assign
+    ~details:[ "drop spill <= 1'b1;" ] ()
+
+let test_mutant_undefined_state () =
+  (* Stuck-at-x on a control input: the corruption reaches an annotated
+     state net as x bits, which the replay reports as a kill rather
+     than silently comparing garbage — the Bug #5 / Z-latch shape. *)
+  match
+    kill_detail
+      (find_mutant ~family:Op.Stuck_at ~details:[ "stuck-at-x ext_wait" ] ())
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "stuck-at-x mutant escaped the generated vectors"
 
 let suite =
   [
@@ -97,44 +159,14 @@ let suite =
       test_mutant_missing_spill_clear;
     Alcotest.test_case "mutant: fixup skipped" `Quick
       test_mutant_fixup_skipped;
+    Alcotest.test_case "mutant: conflict without store" `Quick
+      test_mutant_conflict_without_store;
+    Alcotest.test_case "mutant: store never pends" `Quick
+      test_mutant_store_never_pends;
+    Alcotest.test_case "mutant: external wait ignored" `Quick
+      test_mutant_ext_wait_ignored;
+    Alcotest.test_case "mutant: dirty ignored" `Quick
+      test_mutant_dirty_ignored;
+    Alcotest.test_case "mutant: undefined state bits" `Quick
+      test_mutant_undefined_state;
   ]
-
-let test_mutant_conflict_always () =
-  (* Conflict fires for loads even without a pending store. *)
-  expect_caught "conflict without store"
-    ~needle:
-      "assign conflicts = is_mem & store_pend & ((head == CLS_SD) | \
-       same_line);"
-    ~replacement:"assign conflicts = is_mem & ((head == CLS_SD) | same_line);"
-
-let test_mutant_store_never_pends () =
-  expect_caught "store never pends"
-    ~needle:"if (issue & (head == CLS_SD) & d_hit) store_pend <= 1'b1;"
-    ~replacement:"if (1'b0) store_pend <= 1'b1;"
-
-let test_mutant_ext_wait_ignored () =
-  (* send/switch never stall: the Inbox/Outbox back-pressure is lost. *)
-  expect_caught "external wait ignored"
-    ~needle:
-      "assign ext_wait = ((head == CLS_SWITCH) & !inbox_rdy)\n                  \
-       | ((head == CLS_SEND) & !outbox_rdy);"
-    ~replacement:"assign ext_wait = 1'b0;"
-
-let test_mutant_dirty_ignored () =
-  (* Fill-before-spill never parks a victim. *)
-  expect_caught "dirty victim ignored"
-    ~needle:"if (dirty) spill <= 1'b1;"
-    ~replacement:"if (1'b0) spill <= 1'b1;"
-
-let suite =
-  suite
-  @ [
-      Alcotest.test_case "mutant: conflict without store" `Quick
-        test_mutant_conflict_always;
-      Alcotest.test_case "mutant: store never pends" `Quick
-        test_mutant_store_never_pends;
-      Alcotest.test_case "mutant: external wait ignored" `Quick
-        test_mutant_ext_wait_ignored;
-      Alcotest.test_case "mutant: dirty ignored" `Quick
-        test_mutant_dirty_ignored;
-    ]

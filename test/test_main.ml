@@ -13,6 +13,8 @@ let () =
       ("enum", Test_enum.suite);
       ("parallel", Test_parallel.suite);
       ("tour", Test_tour.suite);
+      ("tour2", Test_tour2.suite);
+      ("mutate", Test_mutate.suite);
       ("pp", Test_pp.suite);
       ("control", Test_control.suite);
       ("harness", Test_harness.suite);

@@ -1,0 +1,130 @@
+(* The optimal-tour baseline and minimization, exercised on the real
+   PP control state graph and on randomized machines — companions to
+   the unit tests in [Test_tour]. *)
+
+open Avp_enum
+open Avp_tour
+
+let pp_graph = lazy (
+  let tr = Avp_pp.Control_hdl.translate () in
+  State_graph.enumerate tr.Avp_fsm.Translate.model)
+
+let test_cpp_on_pp_control () =
+  let g = Lazy.force pp_graph in
+  let adj = g.State_graph.adj in
+  let start = State_graph.reset_id g in
+  Alcotest.(check bool) "strongly connected" true
+    (Digraph.is_strongly_connected adj);
+  let tour = Chinese_postman.solve adj ~start in
+  Alcotest.(check bool) "closed" true
+    (Chinese_postman.is_closed_walk tour ~start);
+  Alcotest.(check bool) "covers every transition" true
+    (Chinese_postman.covers_all_edges adj tour);
+  let len = Chinese_postman.tour_length tour in
+  Alcotest.(check bool) "cost at least the edge count" true
+    (len >= State_graph.num_edges g);
+  (* The optimal baseline is never worse than the greedy generator. *)
+  let t = Tour_gen.generate g in
+  Alcotest.(check bool) "no worse than greedy" true
+    (len <= t.Tour_gen.stats.Tour_gen.edge_traversals)
+
+let prop_cpp_optimal_on_eulerian =
+  (* Unions of directed cycles through 0 keep every degree balanced,
+     so the graph is Eulerian and the postman tour must use every
+     edge exactly once. *)
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 3 9 in
+      let* cycles = list_size (int_range 1 4) (list_size (int_range 1 5) (int_bound (n - 1))) in
+      return (n, cycles))
+  in
+  QCheck.Test.make ~name:"postman tour is optimal on eulerian graphs"
+    ~count:60 (QCheck.make gen)
+    (fun (n, cycles) ->
+      let edges = ref [] in
+      (* The base ring guarantees strong connectivity. *)
+      for i = 0 to n - 1 do
+        edges := (i, (i + 1) mod n) :: !edges
+      done;
+      List.iter
+        (fun c ->
+          (* Close each random walk back through node 0. *)
+          let path = 0 :: List.map (fun v -> v mod n) c in
+          let rec link = function
+            | a :: (b :: _ as tl) ->
+              edges := (a, b) :: !edges;
+              link tl
+            | [ last ] -> edges := (last, 0) :: !edges
+            | [] -> ()
+          in
+          link path)
+        cycles;
+      let adj =
+        Array.init n (fun u ->
+            !edges
+            |> List.filter (fun (a, _) -> a = u)
+            |> List.mapi (fun i (_, b) -> (b, i))
+            |> Array.of_list)
+      in
+      match Chinese_postman.euler_circuit adj ~start:0 with
+      | None -> QCheck.Test.fail_report "cycle union should be eulerian"
+      | Some circuit ->
+        let tour = Chinese_postman.solve adj ~start:0 in
+        Chinese_postman.tour_length tour = Digraph.num_edges adj
+        && Chinese_postman.tour_length circuit = Digraph.num_edges adj
+        && Chinese_postman.covers_all_edges adj tour)
+
+(* --- minimization ------------------------------------------------- *)
+
+let random_mealy k seed =
+  let rng = Random.State.make [| 0x6d6c79; seed |] in
+  let nexts =
+    Array.init k (fun _ -> Array.init 2 (fun _ -> Random.State.int rng k))
+  in
+  let outs =
+    Array.init k (fun _ -> Array.init 2 (fun _ -> Random.State.int rng 2))
+  in
+  {
+    Uio.Mealy.states = k;
+    inputs = 2;
+    next = (fun s i -> nexts.(s).(i));
+    output = (fun s i -> outs.(s).(i));
+  }
+
+let prop_classes_agree_with_equivalence =
+  QCheck.Test.make
+    ~name:"equivalence classes coincide with pairwise equivalence"
+    ~count:40
+    (QCheck.make QCheck.Gen.(pair (int_range 2 7) (int_bound 999)))
+    (fun (k, seed) ->
+      let m = random_mealy k seed in
+      let cls = Minimize.equivalence_classes m in
+      let ok = ref true in
+      for s = 0 to k - 1 do
+        for t = 0 to k - 1 do
+          if cls.(s) = cls.(t) <> Minimize.equivalent m s t then ok := false
+        done
+      done;
+      !ok)
+
+let prop_minimize_idempotent =
+  QCheck.Test.make ~name:"minimization is idempotent" ~count:40
+    (QCheck.make QCheck.Gen.(pair (int_range 2 7) (int_bound 999)))
+    (fun (k, seed) ->
+      let m = random_mealy k seed in
+      let q, cls = Minimize.minimize m in
+      let q2, _ = Minimize.minimize q in
+      q.Uio.Mealy.states <= k
+      && Minimize.is_minimal q
+      && q2.Uio.Mealy.states = q.Uio.Mealy.states
+      && Array.length cls = k
+      && Array.for_all (fun c -> c >= 0 && c < q.Uio.Mealy.states) cls)
+
+let suite =
+  [
+    Alcotest.test_case "postman tour of pp_control graph" `Quick
+      test_cpp_on_pp_control;
+    QCheck_alcotest.to_alcotest prop_cpp_optimal_on_eulerian;
+    QCheck_alcotest.to_alcotest prop_classes_agree_with_equivalence;
+    QCheck_alcotest.to_alcotest prop_minimize_idempotent;
+  ]
