@@ -7,12 +7,27 @@
    size-matched random baseline — and writes the campaign report
    (kill rates per operator family, tour vs random, survivor list)
    as JSON.  The report contains no timings, so the committed file
-   only changes when the mutation score itself changes. *)
+   only changes when the mutation score itself changes.
+   AVP_BENCH_TRACE=FILE records a telemetry trace of the campaign
+   (per-mutant classification spans). *)
+
+module Obs = Avp_obs.Obs
+
+let with_bench_trace f =
+  match Sys.getenv_opt "AVP_BENCH_TRACE" with
+  | None -> f ()
+  | Some path ->
+    let t = Obs.create () in
+    let r = Obs.with_tracer t f in
+    Obs.write_trace t path;
+    Printf.printf "wrote trace %s\n" path;
+    r
 
 let () =
   let out =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_mutation.json"
   in
+  with_bench_trace @@ fun () ->
   let design = Avp_pp.Control_hdl.parse () in
   let tr = Avp_fsm.Translate.translate (Avp_hdl.Elab.elaborate design) in
   let graph = Avp_enum.State_graph.enumerate tr.Avp_fsm.Translate.model in

@@ -6,10 +6,22 @@
    than one core is available — with 2, 4 and the recommended number
    of domains, checks the results are identical, and writes
    BENCH_enum.json with throughput and speedup numbers.  AVP_LARGE=1
-   measures the paper-scale large preset instead of the default. *)
+   measures the paper-scale large preset instead of the default.
+   AVP_BENCH_TRACE=FILE additionally records a telemetry trace of the
+   measured runs (per-level spans, counters). *)
 
 open Avp_pp
 open Avp_enum
+
+let with_bench_trace f =
+  match Sys.getenv_opt "AVP_BENCH_TRACE" with
+  | None -> f ()
+  | Some path ->
+    let t = Avp_obs.Obs.create () in
+    let r = Avp_obs.Obs.with_tracer t f in
+    Avp_obs.Obs.write_trace t path;
+    Printf.printf "wrote trace %s\n" path;
+    r
 
 type run = {
   domains : int;
@@ -42,6 +54,7 @@ let () =
      single-core host the >1 runs exercise the parallel path and
      record its honest overhead next to the "cores" field. *)
   let counts = List.sort_uniq Int.compare [ 1; 2; 4; cores ] in
+  with_bench_trace @@ fun () ->
   let seq_graph, seq = enumerate_with model ~domains:1 in
   let runs =
     List.map

@@ -15,10 +15,23 @@
      against the design on 1, 2 and 4 domains (one simulator per
      domain), recording vectors/s and the speedup over one domain.
 
-   AVP_SIM_CYCLES overrides the raw-throughput cycle count. *)
+   AVP_SIM_CYCLES overrides the raw-throughput cycle count;
+   AVP_BENCH_TRACE=FILE records a telemetry trace of the measured
+   runs. *)
 
 open Avp_hdl
 open Avp_enum
+module Obs = Avp_obs.Obs
+
+let with_bench_trace f =
+  match Sys.getenv_opt "AVP_BENCH_TRACE" with
+  | None -> f ()
+  | Some path ->
+    let t = Obs.create () in
+    let r = Obs.with_tracer t f in
+    Obs.write_trace t path;
+    Printf.printf "wrote trace %s\n" path;
+    r
 
 (* Deterministic 48-bit LCG so both engines see identical stimulus. *)
 let lcg = ref 0x5DEECE66D
@@ -58,7 +71,7 @@ let drive design sim ~cycles =
   Sim.step sim "clk";
   Sim.set sim "rst" (bv1 0);
   let trace = Bytes.create cycles in
-  let t0 = Unix.gettimeofday () in
+  let timer = Obs.Timer.start () in
   for i = 0 to cycles - 1 do
     List.iter
       (fun (id, w) ->
@@ -77,7 +90,7 @@ let drive design sim ~cycles =
     in
     Bytes.set trace i (Char.chr byte)
   done;
-  (Unix.gettimeofday () -. t0, trace)
+  (Obs.Timer.elapsed_s timer, trace)
 
 let () =
   let out =
@@ -95,6 +108,7 @@ let () =
     | None -> 50_000
   in
   let cores = Domain.recommended_domain_count () in
+  with_bench_trace @@ fun () ->
   let design = Avp_pp.Control_hdl.elaborate () in
   (* Raw engine throughput, identical stimulus, outputs cross-checked. *)
   let interp = Sim.create ~engine:`Interp design in
@@ -118,14 +132,14 @@ let () =
   let graph = State_graph.enumerate tr.Avp_fsm.Translate.model in
   let tours = Avp_tour.Tour_gen.generate graph in
   let replay domains =
-    let t0 = Unix.gettimeofday () in
+    let timer = Obs.Timer.start () in
     match Avp_vectors.Replay.check ~domains tr graph tours with
     | Error m ->
       Format.eprintf "FATAL: replay mismatch: %a@."
         Avp_vectors.Replay.pp_mismatch m;
       exit 1
     | Ok stats ->
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = Obs.Timer.elapsed_s timer in
       (stats.Avp_vectors.Replay.cycles, elapsed)
   in
   let base_cycles, base_s = replay 1 in

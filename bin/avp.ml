@@ -61,6 +61,103 @@ let domains_arg =
               domain count.  State numbering is identical for any value.")
 
 (* ---------------------------------------------------------------- *)
+(* Telemetry plumbing                                                *)
+(* ---------------------------------------------------------------- *)
+
+module Obs = Avp_obs.Obs
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a trace of the run: Chrome trace_event JSON (loadable \
+              in chrome://tracing and Perfetto), or JSON-lines when \
+              $(docv) ends in .jsonl.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write accumulated counters and histograms as JSON.")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"DIR"
+        ~doc:"Write a unified coverage report ($(docv)/report.json and \
+              $(docv)/report.html) aggregating enumeration, tours, \
+              coverage, replay and mutation results.")
+
+let vcd_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"FILE"
+        ~doc:"Dump a VCD waveform of the first tour trace's vectors \
+              replayed against the design, force/release commands \
+              annotated.")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Install a tracer when --trace/--metrics was given; artifacts are
+   written on the way out even when the command exits nonzero, so a
+   failing gate still leaves its trace behind. *)
+let with_obs ~trace ~metrics f =
+  match (trace, metrics) with
+  | None, None -> f ()
+  | _ ->
+    let t = Obs.create () in
+    let code = Obs.with_tracer t f in
+    Option.iter
+      (fun p ->
+        Obs.write_trace t p;
+        Format.eprintf "trace: wrote %s@." p)
+      trace;
+    Option.iter
+      (fun p ->
+        Obs.write_metrics t p;
+        Format.eprintf "metrics: wrote %s@." p)
+      metrics;
+    code
+
+(* Periodic stderr progress, shown only on a TTY and never under
+   --json (machine consumers own stdout; stderr stays quiet too). *)
+let make_progress ?(json = false) ?total label =
+  Avp_obs.Progress.create
+    ~enabled:((not json) && Avp_obs.Progress.stderr_is_tty ())
+    ?total ~label ()
+
+let enum_section (s : State_graph.stats) : Avp_obs.Report.enum_section =
+  {
+    Avp_obs.Report.num_states = s.State_graph.num_states;
+    num_edges = s.State_graph.num_edges;
+    state_bits = s.State_graph.state_bits;
+    enum_elapsed_s = s.State_graph.elapsed_s;
+    domains = s.State_graph.domains;
+    levels = Array.length s.State_graph.level_times;
+  }
+
+let tour_section (s : Tour_gen.stats) : Avp_obs.Report.tour_section =
+  {
+    Avp_obs.Report.traces = s.Tour_gen.num_traces;
+    traversals = s.Tour_gen.edge_traversals;
+    instructions = s.Tour_gen.instructions;
+    longest_edges = s.Tour_gen.longest_trace_edges;
+    longest_instructions = s.Tour_gen.longest_trace_instructions;
+    limit_hits = s.Tour_gen.traces_hitting_limit;
+  }
+
+let write_report report ~dir =
+  Avp_obs.Report.write (Avp_obs.Report.load_bench report) ~dir;
+  Format.eprintf "report: wrote %s/report.json and %s/report.html@." dir dir
+
+(* ---------------------------------------------------------------- *)
 (* Model loading                                                    *)
 (* ---------------------------------------------------------------- *)
 
@@ -106,10 +203,14 @@ let translate_cmd =
     Term.(const run $ file_arg $ top_arg $ murphi_arg)
 
 let enumerate_cmd =
-  let run file top all_conditions dot domains =
+  let run file top all_conditions dot domains trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    let progress = make_progress "enumerate" in
     let g =
-      State_graph.enumerate ~all_conditions ?domains (load_model file top)
+      State_graph.enumerate ~all_conditions ?domains ~progress
+        (load_model file top)
     in
+    Avp_obs.Progress.finish progress;
     Format.printf "%a@." State_graph.pp_stats g.State_graph.stats;
     (match State_graph.absorbing_states g with
      | [] -> ()
@@ -138,10 +239,11 @@ let enumerate_cmd =
     (Cmd.info "enumerate" ~doc:"Fully enumerate the control state graph.")
     Term.(
       const run $ file_arg $ top_arg $ all_conditions_arg $ dot_arg
-      $ domains_arg)
+      $ domains_arg $ trace_arg $ metrics_arg)
 
 let tour_cmd =
-  let run file top all_conditions limit domains =
+  let run file top all_conditions limit domains trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let g =
       State_graph.enumerate ~all_conditions ?domains (load_model file top)
     in
@@ -154,7 +256,7 @@ let tour_cmd =
     (Cmd.info "tour" ~doc:"Generate transition tours of the state graph.")
     Term.(
       const run $ file_arg $ top_arg $ all_conditions_arg $ limit_arg
-      $ domains_arg)
+      $ domains_arg $ trace_arg $ metrics_arg)
 
 let vectors_cmd =
   let run file top limit out =
@@ -196,7 +298,9 @@ let seed_arg =
 
 let mutate_cmd =
   let open Avp_mutate in
-  let run file top ops seed budget json domains limit gate =
+  let run file top ops seed budget json domains limit gate trace metrics
+      report_dir =
+    with_obs ~trace ~metrics @@ fun () ->
     let src =
       if file = "pp" then Avp_pp.Control_hdl.source else read_file file
     in
@@ -228,12 +332,35 @@ let mutate_cmd =
         | Some d -> d
         | None -> State_graph.default_domains ()
       in
+      let progress = make_progress ~json "mutate" in
       let report =
-        Campaign.run ?families ~seed ?budget ~domains ?top ~design ~tr
-          ~graph ~tours ()
+        Campaign.run ?families ~seed ?budget ~domains ?top ~progress ~design
+          ~tr ~graph ~tours ()
       in
+      Avp_obs.Progress.finish progress;
       if json then print_string (Campaign.to_json report)
       else Format.printf "%a" Campaign.pp_report report;
+      Option.iter
+        (fun dir ->
+          let r =
+            Avp_obs.Report.empty ~title:"avp mutation report"
+              ~design:report.Campaign.design
+          in
+          let r =
+            {
+              r with
+              Avp_obs.Report.enum = Some (enum_section graph.State_graph.stats);
+              tour = Some (tour_section tours.Tour_gen.stats);
+              mutation = Some (Campaign.report_section report);
+            }
+          in
+          let r =
+            Avp_obs.Report.add_note r
+              (Printf.sprintf "seed %d, %d mutants" report.Campaign.seed
+                 report.Campaign.total)
+          in
+          write_report r ~dir)
+        report_dir;
       (match gate with
        | None -> 0
        | Some floor ->
@@ -290,37 +417,160 @@ let mutate_cmd =
              design, tour vectors vs a size-matched random baseline.")
     Term.(
       const run $ file_arg $ top_arg $ ops_arg $ seed_arg $ budget_arg
-      $ json_arg $ domains_arg $ limit_arg $ gate_arg)
+      $ json_arg $ domains_arg $ limit_arg $ gate_arg $ trace_arg
+      $ metrics_arg $ report_arg)
 
 let validate_cmd =
-  let run bug limit domains seed =
-    let cfg = Avp_pp.Control_model.default in
-    let model = Avp_pp.Control_model.model cfg in
-    let graph = State_graph.enumerate model in
-    let weigh ~src ~choice =
-      Avp_pp.Control_model.instructions_of_edge cfg
-        ~src:graph.State_graph.states.(src)
-        ~choice:(Model.choice_of_index model choice)
-    in
-    let tours =
-      Tour_gen.generate
-        ?instr_limit:(Some (Option.value ~default:500 limit))
-        ~instructions_of_edge:weigh graph
-    in
-    let rows =
-      Avp_harness.Campaign.table_2_1 ~seed ?domains ~cfg ~graph ~tours ()
-    in
-    let rows =
-      match bug with
-      | None -> rows
-      | Some n ->
-        List.filter
-          (fun (r : Avp_harness.Campaign.bug_row) ->
-            Avp_pp.Bugs.number r.Avp_harness.Campaign.bug = n)
-          rows
-    in
-    Format.printf "%a" Avp_harness.Campaign.pp_rows rows;
-    0
+  let run file bug limit domains seed trace metrics vcd report_dir =
+    match file with
+    | Some f when f <> "pp" ->
+      Format.eprintf
+        "avp validate: unknown design '%s' — only the built-in 'pp' \
+         Protocol Processor campaign is supported@."
+        f;
+      2
+    | None | Some _ ->
+      with_obs ~trace ~metrics @@ fun () ->
+      let cfg = Avp_pp.Control_model.default in
+      let model = Avp_pp.Control_model.model cfg in
+      let graph = State_graph.enumerate model in
+      let weigh ~src ~choice =
+        Avp_pp.Control_model.instructions_of_edge cfg
+          ~src:graph.State_graph.states.(src)
+          ~choice:(Model.choice_of_index model choice)
+      in
+      let tours =
+        Tour_gen.generate
+          ?instr_limit:(Some (Option.value ~default:500 limit))
+          ~instructions_of_edge:weigh graph
+      in
+      let progress = make_progress "validate" in
+      let rows =
+        Avp_harness.Campaign.table_2_1 ~seed ?domains ~progress ~cfg ~graph
+          ~tours ()
+      in
+      Avp_obs.Progress.finish progress;
+      let rows =
+        match bug with
+        | None -> rows
+        | Some n ->
+          List.filter
+            (fun (r : Avp_harness.Campaign.bug_row) ->
+              Avp_pp.Bugs.number r.Avp_harness.Campaign.bug = n)
+            rows
+      in
+      Format.printf "%a" Avp_harness.Campaign.pp_rows rows;
+      (* The waveform artifact replays a tour vector against the
+         translated HDL form of the same control module. *)
+      Option.iter
+        (fun path ->
+          let tr = load_translation "pp" None in
+          let hg = State_graph.enumerate tr.Translate.model in
+          let ht = Tour_gen.generate hg in
+          let vecs = Avp_vectors.Replay.vectors tr ht in
+          if Array.length vecs = 0 then
+            Format.eprintf "vcd: no tour traces to dump@."
+          else begin
+            write_file path (Avp_vectors.Replay.dump_vcd tr vecs.(0));
+            Format.eprintf "vcd: wrote %s@." path
+          end)
+        vcd;
+      Option.iter
+        (fun dir ->
+          (* RTL arc coverage under the generated stimuli — the
+             feedback signal the campaign's vectors aim to saturate. *)
+          let stimuli = Avp_harness.Drive.of_traces ~seed cfg graph tours in
+          let acc = Avp_harness.Coverage.create cfg graph in
+          let cov_progress =
+            make_progress ~total:(List.length stimuli) "coverage"
+          in
+          List.iter
+            (fun s ->
+              Avp_harness.Coverage.run acc s;
+              Avp_obs.Progress.tick cov_progress)
+            stimuli;
+          Avp_obs.Progress.finish cov_progress;
+          let cov = Avp_harness.Coverage.result acc in
+          let class_counts =
+            let counts =
+              List.map (fun c -> (c, ref 0)) Avp_pp.Isa.all_classes
+            in
+            List.iter
+              (fun (s : Avp_harness.Drive.stimulus) ->
+                Array.iter
+                  (fun i ->
+                    match i with
+                    | Avp_pp.Isa.Nop | Avp_pp.Isa.Halt -> ()
+                    | i ->
+                      incr (List.assoc (Avp_pp.Isa.classify i) counts))
+                  s.Avp_harness.Drive.program)
+              stimuli;
+            counts
+          in
+          let bug_table =
+            {
+              Avp_obs.Report.table_title = "Table 2.1 — bug detection";
+              header = [ "bug"; "generated"; "random"; "directed" ];
+              rows =
+                List.map
+                  (fun (r : Avp_harness.Campaign.bug_row) ->
+                    let cell (m : Avp_harness.Campaign.method_result) =
+                      if m.Avp_harness.Campaign.detected then
+                        Printf.sprintf "found (run %d)"
+                          m.Avp_harness.Campaign.runs
+                      else "not found"
+                    in
+                    [
+                      Format.asprintf "%a" Avp_pp.Bugs.pp_id
+                        r.Avp_harness.Campaign.bug;
+                      cell r.Avp_harness.Campaign.generated;
+                      cell r.Avp_harness.Campaign.random;
+                      cell r.Avp_harness.Campaign.directed;
+                    ])
+                  rows;
+            }
+          in
+          let class_table =
+            {
+              Avp_obs.Report.table_title =
+                "Instruction classes in generated stimuli";
+              header = [ "class"; "instructions" ];
+              rows =
+                List.map
+                  (fun (c, n) ->
+                    [ Avp_pp.Isa.class_name c; string_of_int !n ])
+                  class_counts;
+            }
+          in
+          let r =
+            Avp_obs.Report.empty ~title:"avp validate report" ~design:"pp"
+          in
+          let r =
+            {
+              r with
+              Avp_obs.Report.enum = Some (enum_section graph.State_graph.stats);
+              tour = Some (tour_section tours.Tour_gen.stats);
+              coverage = Some cov;
+            }
+          in
+          let r = Avp_obs.Report.add_table r bug_table in
+          let r = Avp_obs.Report.add_table r class_table in
+          let r =
+            Avp_obs.Report.add_note r
+              (Printf.sprintf "seed %d, instruction limit %d" seed
+                 (Option.value ~default:500 limit))
+          in
+          write_report r ~dir)
+        report_dir;
+      0
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Design to validate.  Only the built-in 'pp' Protocol \
+                Processor campaign is supported (the default).")
   in
   let bug_arg =
     Arg.(
@@ -331,7 +581,9 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Run the Protocol Processor validation campaign (Table 2.1).")
-    Term.(const run $ bug_arg $ limit_arg $ domains_arg $ seed_arg)
+    Term.(
+      const run $ file_arg $ bug_arg $ limit_arg $ domains_arg $ seed_arg
+      $ trace_arg $ metrics_arg $ vcd_arg $ report_arg)
 
 let lint_cmd =
   let open Avp_analysis in
@@ -460,24 +712,76 @@ let lint_cmd =
       $ strict_arg $ fsm_arg)
 
 let replay_cmd =
-  let run file top limit domains =
+  let run file top limit domains trace metrics vcd report_dir =
+    with_obs ~trace ~metrics @@ fun () ->
     let tr = load_translation file top in
     let g = State_graph.enumerate tr.Translate.model in
     let t = Tour_gen.generate ?instr_limit:limit g in
-    (match Avp_vectors.Replay.check ?domains tr g t with
-     | Ok stats ->
-       Format.printf
-         "replayed %d traces / %d cycles: every transition matched@."
-         stats.Avp_vectors.Replay.traces stats.Avp_vectors.Replay.cycles;
-       0
-     | Error m ->
-       Format.printf "MISMATCH: %a@." Avp_vectors.Replay.pp_mismatch m;
-       1)
+    let vecs = Avp_vectors.Replay.vectors tr t in
+    Option.iter
+      (fun path ->
+        if Array.length vecs = 0 then
+          Format.eprintf "vcd: no tour traces to dump@."
+        else begin
+          write_file path (Avp_vectors.Replay.dump_vcd tr vecs.(0));
+          Format.eprintf "vcd: wrote %s@." path
+        end)
+      vcd;
+    let progress =
+      make_progress ~total:(Array.length vecs) "replay"
+    in
+    let outcome =
+      Avp_vectors.Replay.check ?domains ~progress ~vectors:vecs tr g t
+    in
+    Avp_obs.Progress.finish progress;
+    let code, replay_sec =
+      match outcome with
+      | Ok stats ->
+        Format.printf
+          "replayed %d traces / %d cycles: every transition matched@."
+          stats.Avp_vectors.Replay.traces stats.Avp_vectors.Replay.cycles;
+        ( 0,
+          {
+            Avp_obs.Report.replay_traces = stats.Avp_vectors.Replay.traces;
+            replay_cycles = stats.Avp_vectors.Replay.cycles;
+            ok = true;
+            mismatch = None;
+          } )
+      | Error m ->
+        Format.printf "MISMATCH: %a@." Avp_vectors.Replay.pp_mismatch m;
+        ( 1,
+          {
+            Avp_obs.Report.replay_traces = Array.length vecs;
+            replay_cycles = 0;
+            ok = false;
+            mismatch =
+              Some (Format.asprintf "%a" Avp_vectors.Replay.pp_mismatch m);
+          } )
+    in
+    Option.iter
+      (fun dir ->
+        let r =
+          Avp_obs.Report.empty ~title:"avp replay report" ~design:file
+        in
+        let r =
+          {
+            r with
+            Avp_obs.Report.enum = Some (enum_section g.State_graph.stats);
+            tour = Some (tour_section t.Tour_gen.stats);
+            replay = Some replay_sec;
+          }
+        in
+        write_report r ~dir)
+      report_dir;
+    code
   in
   Cmd.v
     (Cmd.info "replay"
-       ~doc:"Generate tours and replay their vectors against the design,              checking every predicted transition.")
-    Term.(const run $ file_arg $ top_arg $ limit_arg $ domains_arg)
+       ~doc:"Generate tours and replay their vectors against the design, \
+             checking every predicted transition.")
+    Term.(
+      const run $ file_arg $ top_arg $ limit_arg $ domains_arg $ trace_arg
+      $ metrics_arg $ vcd_arg $ report_arg)
 
 let errata_cmd =
   let run () =

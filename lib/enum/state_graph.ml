@@ -1,4 +1,5 @@
 open Avp_fsm
+module Obs = Avp_obs.Obs
 
 type stats = {
   num_states : int;
@@ -133,8 +134,20 @@ let batch_edge_cap = 1 lsl 20
 let default_parallel_threshold = 4096
 
 let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
-    ?(parallel_threshold = default_parallel_threshold) (model : Model.t) =
-  let t0 = Unix.gettimeofday () in
+    ?(parallel_threshold = default_parallel_threshold) ?progress
+    (model : Model.t) =
+  let t0 = Obs.Clock.now_s () in
+  (* Telemetry is per BFS level / batch, never per state: with spans
+     off this adds one Atomic.get per level, so -j throughput is
+     unchanged (the 3%-overhead budget in DESIGN.md). *)
+  let level_span kind ~sources ~dur_s =
+    if Obs.enabled () then
+      Obs.complete ~cat:"enum" kind ~dur_s
+        ~args:[ ("sources", Obs.Int sources) ];
+    match progress with
+    | Some p -> Avp_obs.Progress.tick ~n:sources p
+    | None -> ()
+  in
   let requested =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
@@ -200,7 +213,7 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
     while !frontier < states.Dyn.len && states.Dyn.len < stop_at do
       let level_end = states.Dyn.len in
       let level_size = level_end - !frontier in
-      let lt0 = Unix.gettimeofday () in
+      let lt0 = Obs.Clock.now_s () in
       while !frontier < level_end do
         let src = !frontier in
         incr frontier;
@@ -224,8 +237,9 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
         done;
         Dyn.push adj (Array.of_list (List.rev !out))
       done;
-      level_times :=
-        (level_size, Unix.gettimeofday () -. lt0) :: !level_times
+      let dt = Obs.Clock.now_s () -. lt0 in
+      level_times := (level_size, dt) :: !level_times;
+      level_span "enum.level" ~sources:level_size ~dur_s:dt
     done
   in
   (* ---------------------------------------------------------------- *)
@@ -261,7 +275,7 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
         new_vals := Array.make (cnt * num_choices) [||]
       end;
       let dst_ids = !dst_ids and new_vals = !new_vals in
-      let lt0 = Unix.gettimeofday () in
+      let lt0 = Obs.Clock.now_s () in
       Pool.run pool (fun slot ->
           let j0 = cnt * slot / domains in
           let j1 = cnt * (slot + 1) / domains in
@@ -299,7 +313,9 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
         Dyn.push adj (Array.of_list (List.rev !out))
       done;
       processed := hi;
-      level_times := (cnt, Unix.gettimeofday () -. lt0) :: !level_times
+      let dt = Obs.Clock.now_s () -. lt0 in
+      level_times := (cnt, dt) :: !level_times;
+      level_span "enum.batch" ~sources:cnt ~dur_s:dt
     done
   in
   let used_domains = ref 1 in
@@ -311,7 +327,18 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
       Pool.with_pool ~domains run_parallel
     end
   end;
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let elapsed_s = Obs.Clock.now_s () -. t0 in
+  if Obs.enabled () then begin
+    Obs.complete ~cat:"enum" "enum.run" ~dur_s:elapsed_s
+      ~args:
+        [
+          ("states", Obs.Int states.Dyn.len);
+          ("edges", Obs.Int !edge_count);
+          ("domains", Obs.Int !used_domains);
+        ];
+    Obs.incr ~by:states.Dyn.len "enum.states";
+    Obs.incr ~by:!edge_count "enum.edges"
+  end;
   let heap_mb =
     let st = Gc.quick_stat () in
     float_of_int st.Gc.heap_words *. float_of_int (Sys.word_size / 8)

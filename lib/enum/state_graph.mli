@@ -54,6 +54,7 @@ val enumerate :
   ?max_states:int ->
   ?domains:int ->
   ?parallel_threshold:int ->
+  ?progress:Avp_obs.Progress.t ->
   Model.t ->
   t
 (** [domains] defaults to [default_domains ()] and is clamped to 1

@@ -18,7 +18,12 @@ let run_stimulus ?config ?(max_cycles = 20_000) (stim : Drive.stimulus) =
     ~mem_init:stim.Drive.mem_init ~program:stim.Drive.program
     ~inbox:stim.Drive.inbox ()
 
-let detect_with ?max_cycles ?(domains = 1) config stimuli =
+let detect_with ?max_cycles ?(domains = 1) ?progress config stimuli =
+  let tick () =
+    match progress with
+    | Some p -> Avp_obs.Progress.tick p
+    | None -> ()
+  in
   let stims = Array.of_list stimuli in
   let n = Array.length stims in
   let domains = max 1 (min domains (max 1 n)) in
@@ -29,6 +34,7 @@ let detect_with ?max_cycles ?(domains = 1) config stimuli =
         let instructions =
           instructions + Array.length stim.Drive.program - 1
         in
+        tick ();
         (match run_stimulus ~config ?max_cycles stim with
          | Compare.Match -> go (runs + 1) instructions rest
          | Compare.Mismatch _ ->
@@ -49,6 +55,7 @@ let detect_with ?max_cycles ?(domains = 1) config stimuli =
             let i = ref slot in
             while !i < n do
               if !i < Atomic.get first_hit then begin
+                tick ();
                 (match run_stimulus ~config ?max_cycles stims.(!i) with
                  | Compare.Match -> ()
                  | Compare.Mismatch _ ->
@@ -77,7 +84,8 @@ let detect_with ?max_cycles ?(domains = 1) config stimuli =
     scan 0 0 0
   end
 
-let table_2_1 ?(seed = 1) ?max_cycles ?domains ~cfg ~graph ~tours () =
+let table_2_1 ?(seed = 1) ?max_cycles ?domains ?progress ~cfg ~graph ~tours
+    () =
   let generated_stimuli = Drive.of_traces ~seed cfg graph tours in
   let generated_budget =
     List.fold_left
@@ -96,12 +104,29 @@ let table_2_1 ?(seed = 1) ?max_cycles ?domains ~cfg ~graph ~tours () =
   List.map
     (fun bug ->
       let config = { Rtl.default_config with Rtl.bugs = Bugs.only bug } in
-      {
-        bug;
-        generated = detect_with ?max_cycles ?domains config generated_stimuli;
-        random = detect_with ?max_cycles ?domains config random_stimuli;
-        directed = detect_with ?max_cycles ?domains config directed_stimuli;
-      })
+      let row =
+        {
+          bug;
+          generated =
+            detect_with ?max_cycles ?domains ?progress config
+              generated_stimuli;
+          random =
+            detect_with ?max_cycles ?domains ?progress config random_stimuli;
+          directed =
+            detect_with ?max_cycles ?domains ?progress config
+              directed_stimuli;
+        }
+      in
+      if Avp_obs.Obs.enabled () then
+        Avp_obs.Obs.instant ~cat:"validate" "validate.bug"
+          ~args:
+            [
+              ("bug", Avp_obs.Obs.Str (Format.asprintf "%a" Bugs.pp_id bug));
+              ("generated", Avp_obs.Obs.Bool row.generated.detected);
+              ("random", Avp_obs.Obs.Bool row.random.detected);
+              ("directed", Avp_obs.Obs.Bool row.directed.detected);
+            ];
+      row)
     Bugs.all_ids
 
 let pp_result ppf r =

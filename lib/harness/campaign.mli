@@ -29,6 +29,7 @@ val run_stimulus :
 val detect_with :
   ?max_cycles:int ->
   ?domains:int ->
+  ?progress:Avp_obs.Progress.t ->
   Avp_pp.Rtl.config ->
   Drive.stimulus list ->
   method_result
@@ -42,6 +43,7 @@ val table_2_1 :
   ?seed:int ->
   ?max_cycles:int ->
   ?domains:int ->
+  ?progress:Avp_obs.Progress.t ->
   cfg:Avp_pp.Control_model.cfg ->
   graph:Avp_enum.State_graph.t ->
   tours:Avp_tour.Tour_gen.t ->

@@ -1,47 +1,33 @@
 open Avp_pp
 
-type t = {
+(* All counting delegates to the generic {!Avp_obs.Coverage} counter;
+   this module only supplies the RTL-specific projection — driving
+   the pipeline under a stimulus and mapping each cycle's control
+   observation onto the enumerated abstract state space. *)
+
+type t = Avp_obs.Coverage.summary = {
   states_seen : int;
   states_total : int;
   arcs_seen : int;
   arcs_total : int;
-  unmapped_cycles : int;
+  unmapped : int;
 }
 
-let state_fraction c =
-  if c.states_total = 0 then 0.
-  else float_of_int c.states_seen /. float_of_int c.states_total
-
-let arc_fraction c =
-  if c.arcs_total = 0 then 0.
-  else float_of_int c.arcs_seen /. float_of_int c.arcs_total
-
-let pp ppf c =
-  Format.fprintf ppf
-    "states %d/%d (%.1f%%), arcs %d/%d (%.1f%%), unmapped cycles %d"
-    c.states_seen c.states_total
-    (100. *. state_fraction c)
-    c.arcs_seen c.arcs_total
-    (100. *. arc_fraction c)
-    c.unmapped_cycles
+let state_fraction = Avp_obs.Coverage.state_fraction
+let arc_fraction = Avp_obs.Coverage.arc_fraction
+let pp = Avp_obs.Coverage.pp
 
 type accumulator = {
   cfg : Control_model.cfg;
-  graph : Avp_enum.State_graph.t;
   index : int array -> int option;
-  seen_states : bool array;
-  seen_arcs : (int * int, unit) Hashtbl.t;
-  mutable unmapped : int;
+  counter : Avp_obs.Coverage.t;
 }
 
 let create cfg graph =
   {
     cfg;
-    graph;
     index = Avp_enum.State_graph.make_index graph;
-    seen_states = Array.make (Avp_enum.State_graph.num_states graph) false;
-    seen_arcs = Hashtbl.create 1024;
-    unmapped = 0;
+    counter = Avp_obs.Coverage.of_graph graph.Avp_enum.State_graph.adj;
   }
 
 let run ?config ?(max_cycles = 20_000) acc (stim : Drive.stimulus) =
@@ -54,19 +40,15 @@ let run ?config ?(max_cycles = 20_000) acc (stim : Drive.stimulus) =
     let v = Control_model.valuation_of_obs acc.cfg (Rtl.observe rtl) in
     match acc.index v with
     | None ->
-      acc.unmapped <- acc.unmapped + 1;
+      Avp_obs.Coverage.mark_unmapped acc.counter;
       prev := None
     | Some id ->
-      acc.seen_states.(id) <- true;
+      Avp_obs.Coverage.mark_state acc.counter id;
       (match !prev with
        | Some p ->
-         (* Record the (src, dst) pair when it is a real graph arc. *)
-         let is_arc =
-           Array.exists
-             (fun (d, _) -> d = id)
-             acc.graph.Avp_enum.State_graph.adj.(p)
-         in
-         if is_arc then Hashtbl.replace acc.seen_arcs (p, id) ()
+         (* mark_arc only counts pairs the graph declares, so a
+            non-arc (src, dst) observation never inflates coverage. *)
+         Avp_obs.Coverage.mark_arc acc.counter ~src:p ~dst:id
        | None -> ());
       prev := Some id
   in
@@ -80,22 +62,4 @@ let run ?config ?(max_cycles = 20_000) acc (stim : Drive.stimulus) =
   in
   loop ()
 
-let result acc =
-  let arcs_total =
-    (* Distinct (src, dst) pairs: parallel conditions collapse for the
-       purpose of arc coverage measured from observations. *)
-    let pairs = Hashtbl.create 1024 in
-    Array.iteri
-      (fun src out ->
-        Array.iter (fun (dst, _) -> Hashtbl.replace pairs (src, dst) ()) out)
-      acc.graph.Avp_enum.State_graph.adj;
-    Hashtbl.length pairs
-  in
-  {
-    states_seen =
-      Array.fold_left (fun n b -> if b then n + 1 else n) 0 acc.seen_states;
-    states_total = Avp_enum.State_graph.num_states acc.graph;
-    arcs_seen = Hashtbl.length acc.seen_arcs;
-    arcs_total;
-    unmapped_cycles = acc.unmapped;
-  }
+let result acc = Avp_obs.Coverage.summary acc.counter

@@ -5,14 +5,19 @@
     which arcs of the enumerated state graph the implementation
     actually traversed.  This is the feedback signal of
     coverage-driven validation: the generated vectors aim to push it
-    to 100%, random vectors plateau well below. *)
+    to 100%, random vectors plateau well below.
 
-type t = {
+    Counting itself lives in the generic {!Avp_obs.Coverage}; this
+    module supplies the RTL observation projection and re-exports the
+    summary so its numbers are the same ones the unified reports
+    aggregate. *)
+
+type t = Avp_obs.Coverage.summary = {
   states_seen : int;
   states_total : int;
   arcs_seen : int;
   arcs_total : int;
-  unmapped_cycles : int;
+  unmapped : int;
       (** cycles whose observation is not a reachable abstract state —
           abstraction mismatch, expected to be rare *)
 }

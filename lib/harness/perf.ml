@@ -1,24 +1,39 @@
 open Avp_pp
+module Obs = Avp_obs.Obs
 
 type report = {
   cycles : int;
   instructions : int;
   cpi : float;
+  elapsed_s : float;
 }
 
+(* Every measurement runs under one {!Obs.Timer} — the same clock the
+   tracing spans and the bench snapshots use, so wall-clock numbers
+   from different tools are directly comparable. *)
 let measure ?config ?(max_cycles = 50_000) (stim : Drive.stimulus) =
+  let timer = Obs.Timer.start () in
   let rtl =
     Rtl.create ?config ~mem_init:stim.Drive.mem_init
       ~program:stim.Drive.program ~inbox:stim.Drive.inbox ()
   in
   Rtl.run ~max_cycles ~ready:stim.Drive.ready rtl;
   let instructions = Rtl.instructions_retired rtl in
+  let elapsed_s = Obs.Timer.elapsed_s timer in
+  if Obs.enabled () then
+    Obs.complete ~cat:"perf" "perf.measure" ~dur_s:elapsed_s
+      ~args:
+        [
+          ("cycles", Obs.Int (Rtl.cycle rtl));
+          ("instructions", Obs.Int instructions);
+        ];
   {
     cycles = Rtl.cycle rtl;
     instructions;
     cpi =
       (if instructions = 0 then nan
        else float_of_int (Rtl.cycle rtl) /. float_of_int instructions);
+    elapsed_s;
   }
 
 type verdict = {

@@ -23,7 +23,18 @@ type interp = {
   overlay : (Elab.uid, Bv.t) Hashtbl.t;
 }
 
-type t = I of interp | C of Compile.t
+type eng = I of interp | C of Compile.t
+
+(* Observer hooks live at this dispatch layer, not inside the
+   engines, so waveform dumpers and telemetry see the exact same
+   callbacks whichever engine [create] selected. *)
+type observer = {
+  on_step : time:int -> unit;
+  on_force : string -> Bv.t -> unit;
+  on_release : string -> unit;
+}
+
+type t = { eng : eng; mutable obs : observer option }
 
 let create_interp (d : Elab.t) (u : Compile.units) =
   let n = Array.length d.Elab.nets in
@@ -374,15 +385,20 @@ let create ?(engine = `Auto) (d : Elab.t) =
        | Some "interp" -> false
        | Some _ | None -> true)
   in
-  if want_compiled then
-    match Compile.create ~u d with
-    | Some c -> C c
-    | None -> I (create_interp d u)
-  else I (create_interp d u)
+  let eng =
+    if want_compiled then
+      match Compile.create ~u d with
+      | Some c -> C c
+      | None -> I (create_interp d u)
+    else I (create_interp d u)
+  in
+  { eng; obs = None }
 
-let engine = function I _ -> `Interp | C _ -> `Compiled
-let design = function I s -> s.d | C c -> Compile.design c
-let time = function I s -> s.time | C c -> Compile.time c
+let engine t = match t.eng with I _ -> `Interp | C _ -> `Compiled
+let design t = match t.eng with I s -> s.d | C c -> Compile.design c
+let time t = match t.eng with I s -> s.time | C c -> Compile.time c
+let set_observer t obs = t.obs <- obs
+let observer t = t.obs
 
 let lookup_id t name =
   match Hashtbl.find_opt (design t).Elab.by_name name with
@@ -390,19 +406,19 @@ let lookup_id t name =
   | None -> raise Not_found
 
 let get_id t id =
-  match t with I s -> s.values.(id) | C c -> Compile.get_id c id
+  match t.eng with I s -> s.values.(id) | C c -> Compile.get_id c id
 
 let get t name = get_id t (lookup_id t name)
 
 let eval t e =
-  match t with
+  match t.eng with
   | I s -> eval_with (fun id -> s.values.(id)) s.d e
   | C c -> eval_with (Compile.get_id c) (Compile.design c) e
 
-let settle = function I s -> settle_i s | C c -> Compile.settle c
+let settle t = match t.eng with I s -> settle_i s | C c -> Compile.settle c
 
 let poke_id t id v =
-  match t with I s -> poke_id_i s id v | C c -> Compile.poke_id c id v
+  match t.eng with I s -> poke_id_i s id v | C c -> Compile.poke_id c id v
 
 let set t name v =
   let id = lookup_id t name in
@@ -411,34 +427,38 @@ let set t name v =
 
 let force t name v =
   let id = lookup_id t name in
-  match t with
-  | I s ->
-    let width = s.d.Elab.nets.(id).Elab.width in
-    s.forces.(id) <- Some (Bv.resize v width);
-    s.values.(id) <- Bv.resize v width;
-    mark_net_changed s id;
-    settle_i s
-  | C c -> Compile.force_id c id v
+  (match t.eng with
+   | I s ->
+     let width = s.d.Elab.nets.(id).Elab.width in
+     s.forces.(id) <- Some (Bv.resize v width);
+     s.values.(id) <- Bv.resize v width;
+     mark_net_changed s id;
+     settle_i s
+   | C c -> Compile.force_id c id v);
+  match t.obs with Some o -> o.on_force name v | None -> ()
 
 let release t name =
   let id = lookup_id t name in
-  match t with
-  | I s ->
-    s.forces.(id) <- None;
-    (* Re-resolve the net itself and everything reading it. *)
-    enqueue_unit s id;
-    mark_net_changed s id;
-    settle_i s
-  | C c -> Compile.release_id c id
+  (match t.eng with
+   | I s ->
+     s.forces.(id) <- None;
+     (* Re-resolve the net itself and everything reading it. *)
+     enqueue_unit s id;
+     mark_net_changed s id;
+     settle_i s
+   | C c -> Compile.release_id c id);
+  match t.obs with Some o -> o.on_release name | None -> ()
 
 let forced t name =
   let id = lookup_id t name in
-  match t with
+  match t.eng with
   | I s -> s.forces.(id) <> None
   | C c -> Compile.forced_id c id
 
 let step ?(edge = Ast.Posedge) t clock =
   let clock_id = lookup_id t clock in
-  match t with
-  | I s -> step_i ~edge s clock_id
-  | C c -> Compile.step c ~edge clock_id
+  (match t.eng with
+   | I s -> step_i ~edge s clock_id
+   | C c -> Compile.step c ~edge clock_id);
+  if Avp_obs.Obs.enabled () then Avp_obs.Obs.incr "sim.steps";
+  match t.obs with Some o -> o.on_step ~time:(time t) | None -> ()

@@ -66,3 +66,20 @@ val poke_id : t -> Elab.uid -> Avp_logic.Bv.t -> unit
     (e.g. the FSM translator) that poke many nets and then {!step};
     the value is resized to the net's width and ignored if the net is
     forced. *)
+
+(** {2 Observation}
+
+    A single observer hooks the dispatch layer, so waveform dumpers
+    and telemetry see the same callbacks whichever engine [create]
+    selected.  [on_step] fires after each completed clock edge (with
+    the post-edge {!time}); [on_force]/[on_release] fire after the
+    pin/unpin takes effect. *)
+
+type observer = {
+  on_step : time:int -> unit;
+  on_force : string -> Avp_logic.Bv.t -> unit;
+  on_release : string -> unit;
+}
+
+val set_observer : t -> observer option -> unit
+val observer : t -> observer option

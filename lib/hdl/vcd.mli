@@ -15,3 +15,17 @@ val sample : t -> unit
 
 val serialize : ?timescale:string -> ?top:string -> t -> string
 (** The complete VCD file contents. *)
+
+val attach : Sim.t -> nets:string list -> t
+(** Install a {!Sim.observer} that samples after every clock edge and
+    records [force]/[release] commands as [$comment] annotations, so
+    replayed test vectors dump without the driver calling {!sample}.
+    Records time-zero values immediately.  Replaces any observer
+    already installed on the simulator. *)
+
+val detach : t -> unit
+(** Remove the observer installed by {!attach}; the accumulated dump
+    remains serializable. *)
+
+val write : ?timescale:string -> ?top:string -> t -> string -> unit
+(** [write t path] serializes to a file. *)

@@ -153,7 +153,7 @@ let classify ~top ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
 (* ---------------------------------------------------------------- *)
 
 let run ?families ?(seed = 1) ?budget ?(domains = 1)
-    ?(max_equiv_states = 10_000) ?top ~design ~tr ~graph ~tours () =
+    ?(max_equiv_states = 10_000) ?top ?progress ~design ~tr ~graph ~tours () =
   let mutants =
     let all = Gen.all ?families design in
     match budget with
@@ -175,11 +175,35 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
     Array.fold_left (fun acc v -> acc + Array.length v) 0 vecs
   in
   let out = Array.make n Equivalent in
+  (* One span per mutant, its args the deterministic classification —
+     so normalized trace output is -j invariant like the report. *)
+  let module Obs = Avp_obs.Obs in
   let work i =
-    out.(i) <-
+    let t0 = Obs.Clock.now_s () in
+    let cls =
       classify ~top ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
         ~tour_out ~rand_out
         mutants.(i)
+    in
+    out.(i) <- cls;
+    if Obs.enabled () then
+      Obs.complete ~cat:"mutate" "mutate.classify"
+        ~dur_s:(Obs.Clock.now_s () -. t0)
+        ~args:
+          [
+            ("mutant", Obs.Int mutants.(i).Gen.id);
+            ( "class",
+              Obs.Str
+                (match cls with
+                 | Stillborn _ -> "stillborn"
+                 | Killed_static _ -> "killed-static"
+                 | Killed _ -> "killed"
+                 | Equivalent -> "equivalent"
+                 | Survived _ -> "survived") );
+          ];
+    match progress with
+    | Some p -> Avp_obs.Progress.tick p
+    | None -> ()
   in
   let domains = max 1 (min domains (max 1 n)) in
   if domains = 1 then
@@ -346,6 +370,32 @@ let to_json report =
   p "  ]\n";
   p "}\n";
   Buffer.contents buf
+
+(* Bridge into the unified coverage reports: the campaign's scores as
+   an {!Avp_obs.Report.mutation_section}, family table included. *)
+let report_section (report : report) : Avp_obs.Report.mutation_section =
+  {
+    Avp_obs.Report.mutants = report.total;
+    candidates = report.candidates;
+    tour_killed = report.tour_killed;
+    tour_rate = report.tour_rate;
+    random_killed = report.random_killed;
+    random_rate = report.random_rate;
+    families =
+      List.map
+        (fun s ->
+          {
+            Avp_obs.Report.family = Op.family_name s.family;
+            fam_total = s.total;
+            fam_candidates = s.candidates;
+            fam_killed_tour = s.killed_tour;
+            fam_killed_random = s.killed_random;
+            fam_equivalent = s.equivalent;
+            fam_survived = s.survived;
+            fam_rejected = s.stillborn + s.killed_static;
+          })
+        report.families;
+  }
 
 let pp_report ppf report =
   Format.fprintf ppf

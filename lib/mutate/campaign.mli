@@ -77,6 +77,7 @@ val run :
   ?domains:int ->
   ?max_equiv_states:int ->
   ?top:string ->
+  ?progress:Avp_obs.Progress.t ->
   design:Avp_hdl.Ast.design ->
   tr:Avp_fsm.Translate.result ->
   graph:Avp_enum.State_graph.t ->
@@ -92,6 +93,10 @@ val to_json : report -> string
     scores, every mutant's classification, and the survivor list.
     Contains no timings or domain counts, so byte-equal output is a
     correctness property across runs and [-j] values. *)
+
+val report_section : report -> Avp_obs.Report.mutation_section
+(** The campaign's scores as a section of a unified
+    {!Avp_obs.Report}, family breakdown included. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Human-readable summary table plus the survivor list. *)

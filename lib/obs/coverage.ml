@@ -1,0 +1,91 @@
+(* Generic state/arc coverage counting over an enumerated graph.
+
+   The single implementation behind every coverage number the repo
+   reports: the RTL arc-coverage harness, the unified reports and the
+   CLI all mark observations here and read one summary back.  The
+   graph is declared up front as (src, dst) pairs; marking an arc
+   that is not declared is counted as unmapped-adjacent but never
+   inflates coverage. *)
+
+type summary = {
+  states_seen : int;
+  states_total : int;
+  arcs_seen : int;
+  arcs_total : int;
+  unmapped : int;
+      (* observations that did not project onto the declared space *)
+}
+
+type t = {
+  seen_states : bool array;
+  declared : (int * int, unit) Hashtbl.t;
+  seen_arcs : (int * int, unit) Hashtbl.t;
+  mutable unmapped : int;
+}
+
+let create ~num_states ~arcs =
+  let declared = Hashtbl.create (max 16 (Array.length arcs)) in
+  Array.iter (fun (src, dst) -> Hashtbl.replace declared (src, dst) ()) arcs;
+  {
+    seen_states = Array.make (max 0 num_states) false;
+    declared;
+    seen_arcs = Hashtbl.create 1024;
+    unmapped = 0;
+  }
+
+let of_graph (adj : (int * int) array array) =
+  let arcs = ref [] in
+  Array.iteri
+    (fun src out ->
+      Array.iter (fun (dst, _) -> arcs := (src, dst) :: !arcs) out)
+    adj;
+  create ~num_states:(Array.length adj) ~arcs:(Array.of_list !arcs)
+
+let mark_state t id =
+  if id >= 0 && id < Array.length t.seen_states then
+    t.seen_states.(id) <- true
+
+let mark_arc t ~src ~dst =
+  if Hashtbl.mem t.declared (src, dst) then
+    Hashtbl.replace t.seen_arcs (src, dst) ()
+
+let mark_unmapped t = t.unmapped <- t.unmapped + 1
+
+let summary t =
+  {
+    states_seen =
+      Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.seen_states;
+    states_total = Array.length t.seen_states;
+    arcs_seen = Hashtbl.length t.seen_arcs;
+    arcs_total = Hashtbl.length t.declared;
+    unmapped = t.unmapped;
+  }
+
+let state_fraction c =
+  if c.states_total = 0 then 0.
+  else float_of_int c.states_seen /. float_of_int c.states_total
+
+let arc_fraction c =
+  if c.arcs_total = 0 then 0.
+  else float_of_int c.arcs_seen /. float_of_int c.arcs_total
+
+let pp ppf c =
+  Format.fprintf ppf
+    "states %d/%d (%.1f%%), arcs %d/%d (%.1f%%), unmapped cycles %d"
+    c.states_seen c.states_total
+    (100. *. state_fraction c)
+    c.arcs_seen c.arcs_total
+    (100. *. arc_fraction c)
+    c.unmapped
+
+let to_json c =
+  Json.Obj
+    [
+      ("states_seen", Json.Int c.states_seen);
+      ("states_total", Json.Int c.states_total);
+      ("state_fraction", Json.Float (state_fraction c));
+      ("arcs_seen", Json.Int c.arcs_seen);
+      ("arcs_total", Json.Int c.arcs_total);
+      ("arc_fraction", Json.Float (arc_fraction c));
+      ("unmapped", Json.Int c.unmapped);
+    ]

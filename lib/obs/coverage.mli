@@ -1,0 +1,35 @@
+(** Generic state/arc coverage counting over an enumerated state
+    graph — the single implementation behind every coverage number
+    the repo reports (the RTL arc-coverage harness and the unified
+    {!Report}s both delegate here). *)
+
+type summary = {
+  states_seen : int;
+  states_total : int;
+  arcs_seen : int;
+  arcs_total : int;
+  unmapped : int;
+      (** observations that did not project onto the declared space *)
+}
+
+type t
+
+val create : num_states:int -> arcs:(int * int) array -> t
+(** [arcs] are the declared (src, dst) pairs; duplicates collapse. *)
+
+val of_graph : (int * int) array array -> t
+(** From an adjacency array of (dst, condition) rows — the
+    [State_graph.adj] layout; parallel conditions collapse to
+    distinct (src, dst) pairs for arc-coverage purposes. *)
+
+val mark_state : t -> int -> unit
+val mark_arc : t -> src:int -> dst:int -> unit
+(** Counted only when (src, dst) was declared. *)
+
+val mark_unmapped : t -> unit
+val summary : t -> summary
+
+val state_fraction : summary -> float
+val arc_fraction : summary -> float
+val pp : Format.formatter -> summary -> unit
+val to_json : summary -> Json.t

@@ -1,0 +1,514 @@
+(* Structured tracing and metrics for the validation pipeline.
+
+   One global tracer behind an [Atomic.t option]: every
+   instrumentation site is a single atomic load and branch when
+   tracing is disabled, so the pipeline's hot paths (state expansion,
+   compiled-sim stepping) pay nothing measurable.  When a tracer is
+   installed, events and metrics accumulate in per-domain buffers
+   (domain-local storage, registered once per domain under a mutex)
+   so the parallel BFS, replay shards and mutation kill campaigns
+   emit without locks, without cross-domain contention, and without
+   perturbing the deterministic [-j] merges.  Serialization merges
+   the buffers under a total order, so the output is reproducible. *)
+
+module Clock = struct
+  (* The single clock for every measurement in the repo: BENCH_*.json
+     timings, trace spans and progress rates all read this. *)
+  let now_s = Unix.gettimeofday
+end
+
+module Timer = struct
+  type t = float
+
+  let start () = Clock.now_s ()
+  let elapsed_s t = Clock.now_s () -. t
+end
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ph = Span | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : ph;
+  ts_ns : int;  (* nanoseconds since the tracer's epoch *)
+  dur_ns : int;
+  dom : int;  (* numeric Domain.id of the emitting domain *)
+  depth : int;  (* span-nesting depth within that domain *)
+  o : int;  (* per-domain tick at open... *)
+  c : int;  (* ...and at close; o = c for instants and
+               retrospective spans *)
+  args : (string * arg) list;
+}
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+  (* log2 buckets: index = clamp (exponent + 32), so bucket 32 holds
+     values in [1, 2) and each step halves/doubles the range. *)
+  buckets : int array;
+}
+
+type buffer = {
+  dom : int;
+  mutable rev_events : event list;
+  mutable tick : int;
+  mutable depth : int;
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+type t = {
+  epoch : float;
+  mutex : Mutex.t;
+  buffers : buffer list ref;  (* registration order; merged sorted *)
+  key : buffer Domain.DLS.key;
+}
+
+let fresh_buffer dom =
+  {
+    dom;
+    rev_events = [];
+    tick = 0;
+    depth = 0;
+    counters = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let create () =
+  let mutex = Mutex.create () in
+  let buffers = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let b = fresh_buffer (Domain.self () :> int) in
+        Mutex.lock mutex;
+        buffers := b :: !buffers;
+        Mutex.unlock mutex;
+        b)
+  in
+  { epoch = Clock.now_s (); mutex; buffers; key }
+
+(* ------------------------------------------------------------------ *)
+(* The global tracer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cur : t option Atomic.t = Atomic.make None
+
+let set_tracer o = Atomic.set cur o
+let current () = Atomic.get cur
+let enabled () = Atomic.get cur <> None
+
+let with_tracer t f =
+  let prev = Atomic.get cur in
+  Atomic.set cur (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set cur prev) f
+
+let buf t = Domain.DLS.get t.key
+let ns_of t s = int_of_float ((s -. t.epoch) *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let span ?(cat = "avp") ?(args = []) name f =
+  match Atomic.get cur with
+  | None -> f ()
+  | Some t ->
+    let b = buf t in
+    let o = b.tick in
+    b.tick <- o + 1;
+    let depth = b.depth in
+    b.depth <- depth + 1;
+    let t0 = Clock.now_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_s () in
+        b.depth <- depth;
+        let c = b.tick in
+        b.tick <- c + 1;
+        b.rev_events <-
+          {
+            name;
+            cat;
+            ph = Span;
+            ts_ns = ns_of t t0;
+            dur_ns = ns_of t t1 - ns_of t t0;
+            dom = b.dom;
+            depth;
+            o;
+            c;
+            args;
+          }
+          :: b.rev_events)
+      f
+
+(* A span recorded after the fact from a measured duration: hot loops
+   that already time themselves (BFS levels, per-mutant classify)
+   emit one of these per unit of work instead of bracketing. *)
+let complete ?(cat = "avp") ?(args = []) ~dur_s name =
+  match Atomic.get cur with
+  | None -> ()
+  | Some t ->
+    let b = buf t in
+    let n = b.tick in
+    b.tick <- n + 1;
+    let t1 = Clock.now_s () in
+    let dur_ns = int_of_float (Float.max 0. dur_s *. 1e9) in
+    b.rev_events <-
+      {
+        name;
+        cat;
+        ph = Span;
+        ts_ns = ns_of t t1 - dur_ns;
+        dur_ns;
+        dom = b.dom;
+        depth = b.depth;
+        o = n;
+        c = n;
+        args;
+      }
+      :: b.rev_events
+
+let instant ?(cat = "avp") ?(args = []) name =
+  match Atomic.get cur with
+  | None -> ()
+  | Some t ->
+    let b = buf t in
+    let n = b.tick in
+    b.tick <- n + 1;
+    b.rev_events <-
+      {
+        name;
+        cat;
+        ph = Instant;
+        ts_ns = ns_of t (Clock.now_s ());
+        dur_ns = 0;
+        dom = b.dom;
+        depth = b.depth;
+        o = n;
+        c = n;
+        args;
+      }
+      :: b.rev_events
+
+let incr ?(by = 1) name =
+  match Atomic.get cur with
+  | None -> ()
+  | Some t ->
+    let b = buf t in
+    (match Hashtbl.find_opt b.counters name with
+     | Some r -> r := !r + by
+     | None -> Hashtbl.add b.counters name (ref by))
+
+let observe name v =
+  match Atomic.get cur with
+  | None -> ()
+  | Some t ->
+    let b = buf t in
+    let h =
+      match Hashtbl.find_opt b.histograms name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            count = 0;
+            sum = 0.;
+            minv = infinity;
+            maxv = neg_infinity;
+            buckets = Array.make 64 0;
+          }
+        in
+        Hashtbl.add b.histograms name h;
+        h
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.minv then h.minv <- v;
+    if v > h.maxv then h.maxv <- v;
+    let idx =
+      if v <= 0. || Float.is_nan v then 0
+      else
+        let _, e = Float.frexp v in
+        max 0 (min 63 (e + 32))
+    in
+    h.buckets.(idx) <- h.buckets.(idx) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Merge                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_buffers t =
+  Mutex.lock t.mutex;
+  let bs = !(t.buffers) in
+  Mutex.unlock t.mutex;
+  bs
+
+let events t =
+  let all =
+    List.concat_map (fun b -> List.rev b.rev_events) (snapshot_buffers t)
+  in
+  List.sort
+    (fun a b ->
+      match compare a.ts_ns b.ts_ns with
+      | 0 -> (
+        match compare a.dom b.dom with 0 -> compare a.o b.o | n -> n)
+      | n -> n)
+    all
+
+let counters t =
+  let merged = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt merged name with
+          | Some m -> m := !m + !r
+          | None -> Hashtbl.add merged name (ref !r))
+        b.counters)
+    (snapshot_buffers t);
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) merged []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type histogram_summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (int * int) list;  (* (log2 exponent, count), sparse *)
+}
+
+let histograms t =
+  let merged : (string, histogram) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+      Hashtbl.iter
+        (fun name (h : histogram) ->
+          match Hashtbl.find_opt merged name with
+          | Some m ->
+            m.count <- m.count + h.count;
+            m.sum <- m.sum +. h.sum;
+            if h.minv < m.minv then m.minv <- h.minv;
+            if h.maxv > m.maxv then m.maxv <- h.maxv;
+            Array.iteri
+              (fun i n -> m.buckets.(i) <- m.buckets.(i) + n)
+              h.buckets
+          | None ->
+            Hashtbl.add merged name
+              {
+                count = h.count;
+                sum = h.sum;
+                minv = h.minv;
+                maxv = h.maxv;
+                buckets = Array.copy h.buckets;
+              })
+        b.histograms)
+    (snapshot_buffers t);
+  Hashtbl.fold
+    (fun name (h : histogram) acc ->
+      let buckets = ref [] in
+      for i = 63 downto 0 do
+        if h.buckets.(i) > 0 then buckets := (i - 32, h.buckets.(i)) :: !buckets
+      done;
+      ( name,
+        {
+          h_count = h.count;
+          h_sum = h.sum;
+          h_min = (if h.count = 0 then 0. else h.minv);
+          h_max = (if h.count = 0 then 0. else h.maxv);
+          h_buckets = !buckets;
+        } )
+      :: acc)
+    merged []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness (used by the tests)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Within one domain, span tick-intervals [o, c] must either nest or
+   be disjoint, and a span's recorded depth must equal the number of
+   spans strictly enclosing it.  Bracketed [span] calls guarantee
+   this by construction; the check catches regressions in the
+   emission bookkeeping. *)
+let well_formed (evs : event list) =
+  let spans d = List.filter (fun e -> e.ph = Span && e.dom = d) evs in
+  let doms = List.sort_uniq compare (List.map (fun (e : event) -> e.dom) evs) in
+  List.for_all
+    (fun d ->
+      let ss = spans d in
+      List.for_all
+        (fun a ->
+          let enclosing =
+            List.filter
+              (fun b -> b != a && b.o < a.o && a.c < b.c)
+              ss
+          in
+          let conflicting =
+            List.exists
+              (fun b ->
+                b != a
+                && ((b.o < a.o && a.o < b.c && b.c < a.c)
+                    || (a.o < b.o && b.o < a.c && a.c < b.c)))
+              ss
+          in
+          (not conflicting)
+          && (a.o = a.c || a.depth = List.length enclosing))
+        ss)
+    doms
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_arg = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let arg_of_json = function
+  | Json.Int i -> Some (Int i)
+  | Json.Float f -> Some (Float f)
+  | Json.Str s -> Some (Str s)
+  | Json.Bool b -> Some (Bool b)
+  | Json.Null | Json.List _ | Json.Obj _ -> None
+
+let ph_string = function Span -> "X" | Instant -> "i"
+
+(* One event as a Chrome trace_event object.  "ts"/"dur" carry the
+   micros floats the viewers read; "ts_ns"/"dur_ns"/"o"/"c"/"depth"
+   are our exact integer fields (viewers ignore unknown keys) and are
+   what the decoder uses, so encode/decode round-trips losslessly. *)
+let json_of_event (e : event) =
+  Json.Obj
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str e.cat);
+      ("ph", Json.Str (ph_string e.ph));
+      ("ts", Json.Float (float_of_int e.ts_ns /. 1000.));
+      ("dur", Json.Float (float_of_int e.dur_ns /. 1000.));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int e.dom);
+      ("ts_ns", Json.Int e.ts_ns);
+      ("dur_ns", Json.Int e.dur_ns);
+      ("o", Json.Int e.o);
+      ("c", Json.Int e.c);
+      ("depth", Json.Int e.depth);
+      ( "args",
+        Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) e.args) );
+    ]
+
+let event_of_json j =
+  let ( let* ) = Option.bind in
+  let* name = Option.bind (Json.member "name" j) Json.to_str in
+  let* cat = Option.bind (Json.member "cat" j) Json.to_str in
+  let* ph_s = Option.bind (Json.member "ph" j) Json.to_str in
+  let* ph =
+    match ph_s with "X" -> Some Span | "i" -> Some Instant | _ -> None
+  in
+  let* ts_ns = Option.bind (Json.member "ts_ns" j) Json.to_int in
+  let* dur_ns = Option.bind (Json.member "dur_ns" j) Json.to_int in
+  let* dom = Option.bind (Json.member "tid" j) Json.to_int in
+  let* o = Option.bind (Json.member "o" j) Json.to_int in
+  let* c = Option.bind (Json.member "c" j) Json.to_int in
+  let* depth = Option.bind (Json.member "depth" j) Json.to_int in
+  let* args_j = Json.member "args" j in
+  let* kvs = match args_j with Json.Obj kvs -> Some kvs | _ -> None in
+  let* args =
+    List.fold_right
+      (fun (k, v) acc ->
+        match acc, arg_of_json v with
+        | Some tl, Some a -> Some ((k, a) :: tl)
+        | _ -> None)
+      kvs (Some [])
+  in
+  Some { name; cat; ph; ts_ns; dur_ns; dom; depth; o; c; args }
+
+let encode_event e = Json.to_string (json_of_event e)
+
+let decode_event line =
+  match Json.parse line with
+  | Ok j -> event_of_json j
+  | Error _ -> None
+
+(* Sort-key normalization: drop everything that legitimately varies
+   across runs and domain counts (timestamps, durations, domain ids,
+   tick counters, nesting depth) and order events by their stable
+   identity.  Two runs that did the same work then serialize
+   byte-identically, which is what the [-j] invariance tests pin. *)
+let normalize_events evs =
+  let strip e =
+    { e with ts_ns = 0; dur_ns = 0; dom = 0; depth = 0; o = 0; c = 0 }
+  in
+  let key e = (e.cat, e.name, ph_string e.ph, encode_event (strip e)) in
+  List.map strip evs |> List.sort (fun a b -> compare (key a) (key b))
+
+let to_jsonl ?(normalize = false) t =
+  let evs = events t in
+  let evs = if normalize then normalize_events evs else evs in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (encode_event e);
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf
+
+let to_chrome t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (encode_event e))
+    (events t);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let metrics_json t =
+  let counters_j =
+    List.map (fun (name, v) -> (name, Json.Int v)) (counters t)
+  in
+  let histos_j =
+    List.map
+      (fun (name, h) ->
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int h.h_count);
+              ("sum", Json.Float h.h_sum);
+              ("min", Json.Float h.h_min);
+              ("max", Json.Float h.h_max);
+              ( "mean",
+                Json.Float
+                  (if h.h_count = 0 then 0.
+                   else h.h_sum /. float_of_int h.h_count) );
+              ( "log2_buckets",
+                Json.List
+                  (List.map
+                     (fun (e, n) -> Json.List [ Json.Int e; Json.Int n ])
+                     h.h_buckets) );
+            ] ))
+      (histograms t)
+  in
+  Json.to_string_pretty
+    (Json.Obj
+       [ ("counters", Json.Obj counters_j); ("histograms", Json.Obj histos_j) ])
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_trace t path =
+  if Filename.check_suffix path ".jsonl" then write_file path (to_jsonl t)
+  else write_file path (to_chrome t)
+
+let write_metrics t path = write_file path (metrics_json t)

@@ -1,0 +1,126 @@
+(** Structured tracing and metrics for the validation pipeline.
+
+    A single global tracer sits behind an [Atomic.t option]: when no
+    tracer is installed every instrumentation site is one atomic load
+    plus a branch, so enumeration and compiled simulation keep their
+    benchmarked throughput.  With a tracer installed, spans, instants,
+    counters and histograms accumulate in per-domain buffers
+    (domain-local storage) — the parallel BFS, replay shards and
+    mutation campaigns emit lock-free, and serialization merges the
+    buffers under a total order so output is reproducible. *)
+
+module Clock : sig
+  val now_s : unit -> float
+  (** The one clock every measurement in the repo reads: bench
+      snapshots, trace spans and progress rates all derive from it. *)
+end
+
+module Timer : sig
+  type t
+
+  val start : unit -> t
+  val elapsed_s : t -> float
+end
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ph = Span | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : ph;
+  ts_ns : int;  (** nanoseconds since the tracer's epoch *)
+  dur_ns : int;
+  dom : int;  (** numeric domain id of the emitting domain *)
+  depth : int;  (** span-nesting depth within that domain *)
+  o : int;  (** per-domain tick at open... *)
+  c : int;  (** ...and close; [o = c] for instants and {!complete} *)
+  args : (string * arg) list;
+}
+
+type t
+
+val create : unit -> t
+
+(** {2 The global tracer} *)
+
+val set_tracer : t option -> unit
+val current : unit -> t option
+val enabled : unit -> bool
+
+val with_tracer : t -> (unit -> 'a) -> 'a
+(** Installs [t] for the duration of the callback (restoring the
+    previous tracer after), so tests can trace scoped sections. *)
+
+(** {2 Emission} — all no-ops (one atomic load) when disabled. *)
+
+val span : ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** Bracketed hierarchical span: times the callback, releases the
+    nesting level even on exceptions. *)
+
+val complete : ?cat:string -> ?args:(string * arg) list -> dur_s:float -> string -> unit
+(** A span recorded retrospectively from an already-measured duration
+    ending now — for loops that time themselves (BFS levels,
+    per-mutant classification). *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+val incr : ?by:int -> string -> unit
+val observe : string -> float -> unit
+(** [observe name v] adds [v] to the named histogram (count, sum,
+    min/max, log2 buckets), merged across domains at serialization. *)
+
+(** {2 Merged views} *)
+
+val events : t -> event list
+(** All events, merged across domains, sorted by
+    [(ts_ns, dom, open tick)]. *)
+
+val counters : t -> (string * int) list
+(** Summed across domains, sorted by name. *)
+
+type histogram_summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (int * int) list;  (** (log2 exponent, count), sparse *)
+}
+
+val histograms : t -> (string * histogram_summary) list
+
+val well_formed : event list -> bool
+(** Per domain, span tick-intervals [[o, c]] nest or are disjoint and
+    each span's [depth] equals its number of strict enclosers. *)
+
+(** {2 Serialization} *)
+
+val encode_event : event -> string
+(** One Chrome trace_event JSON object (single line): viewer fields
+    ([ts]/[dur] in microseconds, [tid] = domain) plus exact integer
+    fields ([ts_ns], [dur_ns], [o], [c], [depth]) that viewers ignore
+    and {!decode_event} reads back losslessly. *)
+
+val decode_event : string -> event option
+
+val normalize_events : event list -> event list
+(** Drops run-varying fields (timestamps, domain ids, ticks, depth)
+    and sorts by stable identity — after this, runs that did the same
+    work serialize byte-identically for any [-j]. *)
+
+val to_jsonl : ?normalize:bool -> t -> string
+val to_chrome : t -> string
+(** Chrome trace_event JSON ([{"traceEvents": [...]}]), loadable in
+    [chrome://tracing] and Perfetto. *)
+
+val metrics_json : t -> string
+(** Counters and histogram summaries as deterministic pretty JSON. *)
+
+val write_trace : t -> string -> unit
+(** JSONL when the path ends in [.jsonl], Chrome trace JSON otherwise. *)
+
+val write_metrics : t -> string -> unit

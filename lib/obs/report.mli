@@ -1,0 +1,93 @@
+(** Unified coverage reports.
+
+    One {!t} aggregates what the paper's tables report — reachable
+    states and toured transitions, vector counts and replay cycles,
+    arc coverage, and mutation scores — and renders deterministically
+    as JSON (machine gate) and as a self-contained HTML page (human
+    artifact).  Sections are optional so each pipeline stage fills in
+    what it actually computed. *)
+
+type enum_section = {
+  num_states : int;
+  num_edges : int;
+  state_bits : int;
+  enum_elapsed_s : float;
+  domains : int;
+  levels : int;
+}
+
+type tour_section = {
+  traces : int;
+  traversals : int;
+  instructions : int;
+  longest_edges : int;
+  longest_instructions : int;
+  limit_hits : int;
+}
+
+type replay_section = {
+  replay_traces : int;
+  replay_cycles : int;
+  ok : bool;
+  mismatch : string option;
+}
+
+type mutation_family = {
+  family : string;
+  fam_total : int;
+  fam_candidates : int;
+  fam_killed_tour : int;
+  fam_killed_random : int;
+  fam_equivalent : int;
+  fam_survived : int;
+  fam_rejected : int;
+}
+
+type mutation_section = {
+  mutants : int;
+  candidates : int;
+  tour_killed : int;
+  tour_rate : float;
+  random_killed : int;
+  random_rate : float;
+  families : mutation_family list;
+}
+
+type table = {
+  table_title : string;
+  header : string list;
+  rows : string list list;
+}
+
+type t = {
+  title : string;
+  design : string;
+  enum : enum_section option;
+  tour : tour_section option;
+  coverage : Coverage.summary option;
+  replay : replay_section option;
+  mutation : mutation_section option;
+  tables : table list;
+  bench : (string * Json.t) list;
+  notes : string list;
+}
+
+val empty : title:string -> design:string -> t
+val add_table : t -> table -> t
+val add_note : t -> string -> t
+
+val load_bench : ?dir:string -> t -> t
+(** Embed any committed BENCH_*.json snapshots found in [dir]
+    (default ["."]) so reports carry the baseline they are judged
+    against. *)
+
+val to_json : t -> string
+(** Deterministic pretty-printed JSON. *)
+
+val to_html : t -> string
+(** Self-contained single-file HTML page (inline CSS, no external
+    assets). *)
+
+val write : t -> dir:string -> unit
+(** Create [dir] (and parents) and write [report.json] and
+    [report.html]. *)

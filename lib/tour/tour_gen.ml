@@ -15,7 +15,7 @@ type t = { traces : trace array; stats : stats }
 
 let generate ?instr_limit ?(instructions_of_edge = fun ~src:_ ~choice:_ -> 1)
     (graph : Avp_enum.State_graph.t) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Avp_obs.Obs.Clock.now_s () in
   let adj = graph.Avp_enum.State_graph.adj in
   let n = Array.length adj in
   let offsets = Avp_enum.State_graph.edge_offsets graph in
@@ -152,9 +152,17 @@ let generate ?instr_limit ?(instructions_of_edge = fun ~src:_ ~choice:_ -> 1)
       longest_trace_edges = !longest_edges;
       longest_trace_instructions = !longest_instr;
       traces_hitting_limit = !limit_hits;
-      gen_time_s = Unix.gettimeofday () -. t0;
+      gen_time_s = Avp_obs.Obs.Clock.now_s () -. t0;
     }
   in
+  if Avp_obs.Obs.enabled () then
+    Avp_obs.Obs.complete ~cat:"tour" "tour.generate" ~dur_s:stats.gen_time_s
+      ~args:
+        [
+          ("traces", Avp_obs.Obs.Int stats.num_traces);
+          ("edge_traversals", Avp_obs.Obs.Int stats.edge_traversals);
+          ("instructions", Avp_obs.Obs.Int stats.instructions);
+        ];
   { traces = Array.of_list (List.rev !traces); stats }
 
 let covers_all_edges (graph : Avp_enum.State_graph.t) t =

@@ -1,4 +1,5 @@
 open Avp_fsm
+module Obs = Avp_obs.Obs
 
 type stats = {
   traces : int;
@@ -59,9 +60,28 @@ let run_nets ~design ~(tr : Translate.result) ~(nets : string array) ~predict
    cycles of every trace before the first failing one count, plus the
    failing trace's partial cycles; the reported mismatch is the
    lowest-numbered trace's. *)
-let sharded ~domains ~n run =
+let sharded ?progress ~domains ~n run =
   let results = Array.make n (0, None) in
-  let job ti = results.(ti) <- run ti in
+  (* Telemetry is per trace, not per cycle, and its args (trace index,
+     cycles, verdict) are the deterministic replay results — so the
+     normalized event set is identical for any [domains]. *)
+  let job ti =
+    let t0 = Obs.Clock.now_s () in
+    let ((c, m) as r) = run ti in
+    if Obs.enabled () then
+      Obs.complete ~cat:"replay" "replay.trace"
+        ~dur_s:(Obs.Clock.now_s () -. t0)
+        ~args:
+          [
+            ("trace", Obs.Int ti);
+            ("cycles", Obs.Int c);
+            ("ok", Obs.Bool (Option.is_none m));
+          ];
+    (match progress with
+     | Some p -> Avp_obs.Progress.tick p
+     | None -> ());
+    results.(ti) <- r
+  in
   let domains = max 1 (min domains (max 1 n)) in
   if domains = 1 then
     for ti = 0 to n - 1 do
@@ -98,14 +118,15 @@ let state_nets (tr : Translate.result) =
     (fun (b : Translate.binding) -> b.Translate.net.Avp_hdl.Elab.name)
     tr.Translate.state_bindings
 
-let check ?dut ?(domains = 1) ?vectors:vecs (tr : Translate.result)
-    (graph : Avp_enum.State_graph.t) (tours : Avp_tour.Tour_gen.t) =
+let check ?dut ?(domains = 1) ?progress ?vectors:vecs
+    (tr : Translate.result) (graph : Avp_enum.State_graph.t)
+    (tours : Avp_tour.Tour_gen.t) =
   let design = Option.value ~default:tr.Translate.elab dut in
   let traces = tours.Avp_tour.Tour_gen.traces in
   let n = Array.length traces in
   let vectors = match vecs with Some v -> v | None -> vectors tr tours in
   let nets = state_nets tr in
-  sharded ~domains ~n (fun ti ->
+  sharded ?progress ~domains ~n (fun ti ->
       let trace = traces.(ti) in
       let predict cycle vi =
         let state =
@@ -133,11 +154,54 @@ let record ?dut (tr : Translate.result) ~(nets : string array)
     ~on_cycle:(fun i -> snap (i + 1));
   rows
 
-let check_nets ~dut ?(domains = 1) (tr : Translate.result)
+let check_nets ~dut ?(domains = 1) ?progress (tr : Translate.result)
     ~(nets : string array) ~(predicted : int array array array)
     (vectors : Vector.t array) =
   let n = Array.length vectors in
-  sharded ~domains ~n (fun ti ->
+  sharded ?progress ~domains ~n (fun ti ->
       let rows = predicted.(ti) in
       let predict cycle vi = rows.(cycle + 1).(vi) in
       run_nets ~design:dut ~tr ~nets ~predict ti vectors.(ti))
+
+(* Replay one trace's vectors with a VCD dump attached: the waveform
+   artifact behind the CLI's [--vcd], showing state nets toggling
+   under annotated force/release stimulus. *)
+let dump_vcd ?dut ?nets (tr : Translate.result) (vector : Vector.t) =
+  let design = Option.value ~default:tr.Translate.elab dut in
+  let nets =
+    match nets with
+    | Some ns -> ns
+    | None ->
+      (* Clock, reset, the annotated state nets, then every net the
+         vectors touch — deduplicated, first occurrence wins. *)
+      let forced = ref [] in
+      Array.iter
+        (fun (c : Vector.cycle) ->
+          List.iter
+            (function
+              | Vector.Force (n, _) -> forced := n :: !forced
+              | Vector.Release n -> forced := n :: !forced)
+            c.Vector.actions)
+        vector;
+      let candidates =
+        (tr.Translate.clock :: tr.Translate.reset
+         :: Array.to_list (state_nets tr))
+        @ List.rev !forced
+      in
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun n ->
+          if Hashtbl.mem seen n then false
+          else begin
+            Hashtbl.add seen n ();
+            true
+          end)
+        candidates
+  in
+  let sim = Avp_hdl.Sim.create design in
+  let vcd = Avp_hdl.Vcd.attach sim ~nets in
+  Condition_map.apply vector sim ~clock:tr.Translate.clock
+    ~reset:tr.Translate.reset
+    ~on_cycle:(fun _ -> ());
+  Avp_hdl.Vcd.detach vcd;
+  Avp_hdl.Vcd.serialize ~top:tr.Translate.model.Model.model_name vcd

@@ -33,6 +33,7 @@ val state_nets : Avp_fsm.Translate.result -> string array
 val check :
   ?dut:Avp_hdl.Elab.t ->
   ?domains:int ->
+  ?progress:Avp_obs.Progress.t ->
   ?vectors:Vector.t array ->
   Avp_fsm.Translate.result ->
   Avp_enum.State_graph.t ->
@@ -75,6 +76,7 @@ val record :
 val check_nets :
   dut:Avp_hdl.Elab.t ->
   ?domains:int ->
+  ?progress:Avp_obs.Progress.t ->
   Avp_fsm.Translate.result ->
   nets:string array ->
   predicted:int array array array ->
@@ -87,3 +89,15 @@ val check_nets :
     mutation campaign uses this with the design's output ports as
     [nets] — the observability a golden-model random baseline has,
     in contrast to the tour's per-cycle state predictions. *)
+
+val dump_vcd :
+  ?dut:Avp_hdl.Elab.t ->
+  ?nets:string list ->
+  Avp_fsm.Translate.result ->
+  Vector.t ->
+  string
+(** Replay one trace's vectors with a {!Avp_hdl.Vcd} dump attached
+    and return the VCD file contents.  [nets] defaults to the clock,
+    reset, annotated state nets, and every net the vectors force or
+    release; force/release commands appear as [$comment] annotations
+    at the cycle where they took effect. *)

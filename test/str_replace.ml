@@ -10,3 +10,11 @@ let replace src needle replacement =
     else go (i + 1)
   in
   go 0
+
+let contains src needle =
+  let nl = String.length needle in
+  let rec go i =
+    if i + nl > String.length src then false
+    else String.sub src i nl = needle || go (i + 1)
+  in
+  go 0

@@ -21,4 +21,5 @@ let () =
       ("ext", Test_ext.suite);
       ("analysis", Test_analysis.suite);
       ("pp2", Test_pp2.suite);
+      ("obs", Test_obs.suite);
     ]
