@@ -13,7 +13,15 @@
 
    - campaign replay throughput: tour-generated vectors are replayed
      against the design on 1, 2 and 4 domains (one simulator per
-     domain), recording vectors/s and the speedup over one domain.
+     domain), recording vectors/s and the speedup over one domain;
+
+   - bit-sliced throughput: the same stimulus broadcast through a
+     62-lane sliced kernel (lane 0 cross-checked against the scalar
+     engines), recording word cycles/s and effective lane-cycles/s;
+
+   - batched replay: a segmented tour (many traces) replayed
+     sequentially with one scalar simulator per trace vs word-parallel
+     through Replay.check_batch, traces packed 62 to the machine word.
 
    AVP_SIM_CYCLES overrides the raw-throughput cycle count;
    AVP_BENCH_TRACE=FILE records a telemetry trace of the measured
@@ -115,7 +123,7 @@ let () =
   let compiled = Sim.create ~engine:`Compiled design in
   (match Sim.engine compiled with
    | `Compiled -> ()
-   | `Interp ->
+   | `Interp | `Sliced ->
      prerr_endline "FATAL: compiled engine rejected the control design";
      exit 1);
   let interp_s, trace_i = drive design interp ~cycles in
@@ -127,6 +135,52 @@ let () =
   let interp_cps = float_of_int cycles /. interp_s in
   let compiled_cps = float_of_int cycles /. compiled_s in
   let ratio = compiled_cps /. interp_cps in
+  (* Bit-sliced kernel: identical stimulus broadcast to all 62 lanes;
+     lane 0 must reproduce the scalar output trace bit for bit. *)
+  let sliced_lanes = Avp_logic.Bv_sliced.lanes_limit in
+  let sliced_s, lane_checked =
+    match Sliced.create ~lanes:sliced_lanes design with
+    | None ->
+      prerr_endline "FATAL: sliced engine rejected the control design";
+      exit 1
+    | Some sl ->
+      lcg := 0x5DEECE66D;
+      let uid name = Hashtbl.find design.Elab.by_name name in
+      let inputs = List.map (fun (name, w) -> (uid name, w)) free_inputs in
+      let out_ids = List.map uid [ "stall"; "dstall_out"; "istall_out" ] in
+      let clk = uid "clk" and rst = uid "rst" in
+      Sliced.set_id sl rst (bv1 1);
+      Sliced.step sl clk;
+      Sliced.step sl clk;
+      Sliced.set_id sl rst (bv1 0);
+      let trace = Bytes.create cycles in
+      let timer = Obs.Timer.start () in
+      for i = 0 to cycles - 1 do
+        List.iter
+          (fun (id, w) ->
+            Sliced.poke_id sl id (Avp_logic.Bv.of_int ~width:w (rand_bits w)))
+          inputs;
+        Sliced.step sl clk;
+        let byte =
+          List.fold_left
+            (fun acc id ->
+              (acc lsl 2)
+              lor
+              match Avp_logic.Bv.to_int (Sliced.get_lane sl ~lane:0 id) with
+              | Some v -> v
+              | None -> 2)
+            0 out_ids
+        in
+        Bytes.set trace i (Char.chr byte)
+      done;
+      (Obs.Timer.elapsed_s timer, Bytes.equal trace trace_c)
+  in
+  if not lane_checked then begin
+    prerr_endline "FATAL: sliced lane 0 diverged from the compiled engine";
+    exit 1
+  end;
+  let sliced_cps = float_of_int cycles /. sliced_s in
+  let sliced_lane_cps = sliced_cps *. float_of_int sliced_lanes in
   (* Campaign replay: tour vectors over 1/2/4 domains. *)
   let tr = Avp_pp.Control_hdl.translate () in
   let graph = State_graph.enumerate tr.Avp_fsm.Translate.model in
@@ -150,6 +204,35 @@ let () =
         (d, c, s, float_of_int c /. s, base_s /. s))
       [ 1; 2; 4 ]
   in
+  (* Batched replay: segment the tour into many shorter traces so the
+     62-lane word fills, then race one-scalar-simulator-per-trace
+     against the word-parallel kernel on identical vectors. *)
+  let tours_b = Avp_tour.Tour_gen.generate ~instr_limit:100 graph in
+  let vecs_b = Avp_vectors.Replay.vectors tr tours_b in
+  let time_check f =
+    let timer = Obs.Timer.start () in
+    match f () with
+    | Error m ->
+      Format.eprintf "FATAL: batched-replay mismatch: %a@."
+        Avp_vectors.Replay.pp_mismatch m;
+      exit 1
+    | Ok stats ->
+      (stats.Avp_vectors.Replay.cycles, Obs.Timer.elapsed_s timer)
+  in
+  let batch_traces = Array.length tours_b.Avp_tour.Tour_gen.traces in
+  let scalar_cycles, scalar_b_s =
+    time_check (fun () ->
+        Avp_vectors.Replay.check ~vectors:vecs_b tr graph tours_b)
+  in
+  let batch_cycles, batch_s =
+    time_check (fun () ->
+        Avp_vectors.Replay.check_batch ~vectors:vecs_b tr graph tours_b)
+  in
+  if scalar_cycles <> batch_cycles then begin
+    prerr_endline "FATAL: batched replay consumed a different cycle count";
+    exit 1
+  end;
+  let batch_speedup = scalar_b_s /. batch_s in
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -159,6 +242,13 @@ let () =
   p "  \"interp_cycles_per_s\": %.1f,\n" interp_cps;
   p "  \"compiled_cycles_per_s\": %.1f,\n" compiled_cps;
   p "  \"compiled_over_interp\": %.2f,\n" ratio;
+  p "  \"sliced\": {\"lanes\": %d, \"cycles_per_s\": %.1f, \
+     \"lane_cycles_per_s\": %.1f, \"lane_cycles_over_compiled\": %.2f},\n"
+    sliced_lanes sliced_cps sliced_lane_cps (sliced_lane_cps /. compiled_cps);
+  p
+    "  \"batched_replay\": {\"traces\": %d, \"cycles\": %d, \
+     \"scalar_s\": %.4f, \"batched_s\": %.4f, \"speedup\": %.2f},\n"
+    batch_traces batch_cycles scalar_b_s batch_s batch_speedup;
   p "  \"replay\": [\n";
   List.iteri
     (fun i (d, c, s, vps, speedup) ->
@@ -174,6 +264,15 @@ let () =
   Printf.printf "wrote %s (%d cores):\n" out cores;
   Printf.printf "  interp   %.0f cycles/s\n" interp_cps;
   Printf.printf "  compiled %.0f cycles/s  (%.2fx)\n" compiled_cps ratio;
+  Printf.printf
+    "  sliced   %.0f cycles/s x %d lanes = %.0f lane-cycles/s  (%.2fx \
+     compiled)\n"
+    sliced_cps sliced_lanes sliced_lane_cps
+    (sliced_lane_cps /. compiled_cps);
+  Printf.printf
+    "  batched replay  %d traces  %d cycles  scalar %.3fs  batched %.3fs  \
+     speedup %.2fx\n"
+    batch_traces batch_cycles scalar_b_s batch_s batch_speedup;
   List.iter
     (fun (d, c, s, vps, speedup) ->
       Printf.printf

@@ -298,8 +298,8 @@ let seed_arg =
 
 let mutate_cmd =
   let open Avp_mutate in
-  let run file top ops seed budget json domains limit gate trace metrics
-      report_dir =
+  let run file top ops seed budget json domains limit gate engine trace
+      metrics report_dir =
     with_obs ~trace ~metrics @@ fun () ->
     let src =
       if file = "pp" then Avp_pp.Control_hdl.source else read_file file
@@ -334,8 +334,8 @@ let mutate_cmd =
       in
       let progress = make_progress ~json "mutate" in
       let report =
-        Campaign.run ?families ~seed ?budget ~domains ?top ~progress ~design
-          ~tr ~graph ~tours ()
+        Campaign.run ?families ~seed ?budget ~domains ?top ~progress ~engine
+          ~design ~tr ~graph ~tours ()
       in
       Avp_obs.Progress.finish progress;
       if json then print_string (Campaign.to_json report)
@@ -411,14 +411,24 @@ let mutate_cmd =
           ~doc:"Exit 1 unless the tour kill-rate is at least $(docv) and \
                 at least the random baseline's kill-rate.")
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sliced", `Sliced); ("scalar", `Scalar) ]) `Sliced
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Replay backend: $(b,sliced) (default) classifies up to 62 \
+                mutants word-parallel per pass through one bit-sliced \
+                schemata kernel; $(b,scalar) replays one mutant at a time. \
+                Reports are byte-identical either way.")
+  in
   Cmd.v
     (Cmd.info "mutate"
        ~doc:"Run a mutation kill campaign: structured mutants of the \
              design, tour vectors vs a size-matched random baseline.")
     Term.(
       const run $ file_arg $ top_arg $ ops_arg $ seed_arg $ budget_arg
-      $ json_arg $ domains_arg $ limit_arg $ gate_arg $ trace_arg
-      $ metrics_arg $ report_arg)
+      $ json_arg $ domains_arg $ limit_arg $ gate_arg $ engine_arg
+      $ trace_arg $ metrics_arg $ report_arg)
 
 let validate_cmd =
   let run file bug limit domains seed trace metrics vcd report_dir =

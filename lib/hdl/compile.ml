@@ -1263,7 +1263,23 @@ let forced_id t id = Bytes.get t.forced id = '\001'
 (* Construction                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let create ?u (d : Elab.t) =
+(* Assembling the per-unit programs is the expensive, design-pure half
+   of [create]; the mutable runtime state is cheap.  Splitting the two
+   lets callers that run many simulations of the same design (replay
+   shards one simulator per trace) assemble once and instantiate per
+   run. *)
+type prog = {
+  pd : Elab.t;
+  pu : units;
+  pwidths : int array;
+  pmasks : int array;
+  pprogs : int array array;
+  pseqp : ((Ast.edge * Elab.uid) list * int array) array;
+  pmax_stack : int;
+  pmax_temps : int;
+}
+
+let compile ?u (d : Elab.t) =
   let u = match u with Some u -> u | None -> units d in
   let n = Array.length d.Elab.nets in
   let max_stack = ref 1 and max_temps = ref 1 in
@@ -1307,43 +1323,59 @@ let create ?u (d : Elab.t) =
   | exception Invalid_argument _ -> None
   | progs, seqp ->
     let widths = Array.map (fun net -> net.Elab.width) d.Elab.nets in
-    let masks = Array.map msk widths in
-    let nv =
-      Array.init n (fun i ->
-          match d.Elab.nets.(i).Elab.kind with
-          | Ast.Reg -> masks.(i) (* all X *)
-          | Ast.Wire -> 0 (* all Z *))
-    in
     Some
       {
-        d;
-        u;
-        widths;
-        nv;
-        nu = Array.copy masks;
-        forced = Bytes.make n '\000';
-        progs;
-        seqp;
-        sv = Array.make (!max_stack + 1) 0;
-        su = Array.make (!max_stack + 1) 0;
-        tv = Array.make !max_temps 0;
-        tu = Array.make !max_temps 0;
-        ov_v = Array.make n 0;
-        ov_u = Array.make n 0;
-        ov_set = Bytes.make n '\000';
-        touched = Array.make (max n 1) 0;
-        n_touched = 0;
-        nba_id = Array.make 16 0;
-        nba_lo = Array.make 16 0;
-        nba_m = Array.make 16 0;
-        nba_v = Array.make 16 0;
-        nba_u = Array.make 16 0;
-        n_nba = 0;
-        queue = Array.make (u.unit_count + 1) 0;
-        qh = 0;
-        qt = 0;
-        in_queue = Bytes.make (max u.unit_count 1) '\000';
-        dirty_all = true;
-        time = 0;
-        last_changed = -1;
+        pd = d;
+        pu = u;
+        pwidths = widths;
+        pmasks = Array.map msk widths;
+        pprogs = progs;
+        pseqp = seqp;
+        pmax_stack = !max_stack;
+        pmax_temps = !max_temps;
       }
+
+let instantiate (p : prog) =
+  let d = p.pd and u = p.pu in
+  let n = Array.length d.Elab.nets in
+  let nv =
+    Array.init n (fun i ->
+        match d.Elab.nets.(i).Elab.kind with
+        | Ast.Reg -> p.pmasks.(i) (* all X *)
+        | Ast.Wire -> 0 (* all Z *))
+  in
+  {
+    d;
+    u;
+    widths = p.pwidths;
+    nv;
+    nu = Array.copy p.pmasks;
+    forced = Bytes.make n '\000';
+    progs = p.pprogs;
+    seqp = p.pseqp;
+    sv = Array.make (p.pmax_stack + 1) 0;
+    su = Array.make (p.pmax_stack + 1) 0;
+    tv = Array.make p.pmax_temps 0;
+    tu = Array.make p.pmax_temps 0;
+    ov_v = Array.make n 0;
+    ov_u = Array.make n 0;
+    ov_set = Bytes.make n '\000';
+    touched = Array.make (max n 1) 0;
+    n_touched = 0;
+    nba_id = Array.make 16 0;
+    nba_lo = Array.make 16 0;
+    nba_m = Array.make 16 0;
+    nba_v = Array.make 16 0;
+    nba_u = Array.make 16 0;
+    n_nba = 0;
+    queue = Array.make (u.unit_count + 1) 0;
+    qh = 0;
+    qt = 0;
+    in_queue = Bytes.make (max u.unit_count 1) '\000';
+    dirty_all = true;
+    time = 0;
+    last_changed = -1;
+  }
+
+let create ?u (d : Elab.t) = Option.map instantiate (compile ?u d)
+let prog_units p = p.pu

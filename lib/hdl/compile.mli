@@ -32,9 +32,27 @@ val units : Elab.t -> units
 
 type t
 
-val create : ?u:units -> Elab.t -> t option
+type prog
+(** An immutable compiled program: the per-unit bytecode, scratch
+    sizes and static analysis, with no runtime state.  Assembling it
+    is the expensive half of {!create}; {!instantiate} is cheap, so
+    callers that simulate the same design many times (one simulator
+    per replay trace, hundreds of traces) compile once and
+    instantiate per run. *)
+
+val compile : ?u:units -> Elab.t -> prog option
 (** [None] when the design cannot be compiled (fall back to the
     interpreter).  Pass [?u] to reuse an existing analysis. *)
+
+val instantiate : prog -> t
+(** A fresh simulator (nets at their reset-free initial X/Z values)
+    running the given program.  Instances share only immutable data
+    and may live on different domains. *)
+
+val prog_units : prog -> units
+
+val create : ?u:units -> Elab.t -> t option
+(** [compile] followed by {!instantiate}. *)
 
 val design : t -> Elab.t
 val time : t -> int

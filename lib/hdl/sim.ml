@@ -23,7 +23,7 @@ type interp = {
   overlay : (Elab.uid, Bv.t) Hashtbl.t;
 }
 
-type eng = I of interp | C of Compile.t
+type eng = I of interp | C of Compile.t | S of Sliced.t
 
 (* Observer hooks live at this dispatch layer, not inside the
    engines, so waveform dumpers and telemetry see the exact same
@@ -378,7 +378,7 @@ let create ?(engine = `Auto) (d : Elab.t) =
   let u = Compile.units d in
   let want_compiled =
     match engine with
-    | `Compiled -> true
+    | `Compiled | `Sliced -> true
     | `Interp -> false
     | `Auto ->
       (match Sys.getenv_opt "AVP_SIM_ENGINE" with
@@ -386,17 +386,67 @@ let create ?(engine = `Auto) (d : Elab.t) =
        | Some _ | None -> true)
   in
   let eng =
-    if want_compiled then
-      match Compile.create ~u d with
-      | Some c -> C c
-      | None -> I (create_interp d u)
-    else I (create_interp d u)
+    match engine with
+    | `Sliced -> (
+      (* One-lane batched kernel; falls back like [`Auto] when the
+         design is outside the sliced engine's coverage. *)
+      match Sliced.create ~u ~lanes:1 d with
+      | Some s -> S s
+      | None -> (
+        match Compile.create ~u d with
+        | Some c -> C c
+        | None -> I (create_interp d u)))
+    | _ ->
+      if want_compiled then
+        match Compile.create ~u d with
+        | Some c -> C c
+        | None -> I (create_interp d u)
+      else I (create_interp d u)
   in
   { eng; obs = None }
 
-let engine t = match t.eng with I _ -> `Interp | C _ -> `Compiled
-let design t = match t.eng with I s -> s.d | C c -> Compile.design c
-let time t = match t.eng with I s -> s.time | C c -> Compile.time c
+(* Compile-once/instantiate-many: callers that simulate the same
+   design hundreds of times (one simulator per replay trace) pay
+   elaboration analysis and bytecode assembly once. *)
+type template = { td : Elab.t; tu : Compile.units; tp : Compile.prog option }
+
+let template ?(engine = `Auto) (d : Elab.t) =
+  let u = Compile.units d in
+  let want_compiled =
+    match engine with
+    | `Compiled -> true
+    | `Interp -> false
+    | `Auto ->
+      (match Sys.getenv_opt "AVP_SIM_ENGINE" with
+       | Some "interp" -> false
+       | Some _ | None -> true)
+  in
+  { td = d; tu = u; tp = (if want_compiled then Compile.compile ~u d else None) }
+
+let instantiate tpl =
+  let eng =
+    match tpl.tp with
+    | Some p -> C (Compile.instantiate p)
+    | None -> I (create_interp tpl.td tpl.tu)
+  in
+  { eng; obs = None }
+
+let template_design tpl = tpl.td
+
+let engine t =
+  match t.eng with I _ -> `Interp | C _ -> `Compiled | S _ -> `Sliced
+
+let design t =
+  match t.eng with
+  | I s -> s.d
+  | C c -> Compile.design c
+  | S s -> Sliced.design s
+
+let time t =
+  match t.eng with
+  | I s -> s.time
+  | C c -> Compile.time c
+  | S s -> Sliced.time s
 let set_observer t obs = t.obs <- obs
 let observer t = t.obs
 
@@ -406,7 +456,10 @@ let lookup_id t name =
   | None -> raise Not_found
 
 let get_id t id =
-  match t.eng with I s -> s.values.(id) | C c -> Compile.get_id c id
+  match t.eng with
+  | I s -> s.values.(id)
+  | C c -> Compile.get_id c id
+  | S s -> Sliced.get_lane s ~lane:0 id
 
 let get t name = get_id t (lookup_id t name)
 
@@ -414,11 +467,19 @@ let eval t e =
   match t.eng with
   | I s -> eval_with (fun id -> s.values.(id)) s.d e
   | C c -> eval_with (Compile.get_id c) (Compile.design c) e
+  | S s -> eval_with (Sliced.get_lane s ~lane:0) (Sliced.design s) e
 
-let settle t = match t.eng with I s -> settle_i s | C c -> Compile.settle c
+let settle t =
+  match t.eng with
+  | I s -> settle_i s
+  | C c -> Compile.settle c
+  | S s -> Sliced.settle s
 
 let poke_id t id v =
-  match t.eng with I s -> poke_id_i s id v | C c -> Compile.poke_id c id v
+  match t.eng with
+  | I s -> poke_id_i s id v
+  | C c -> Compile.poke_id c id v
+  | S s -> Sliced.poke_id s id v
 
 let set t name v =
   let id = lookup_id t name in
@@ -434,7 +495,10 @@ let force t name v =
      s.values.(id) <- Bv.resize v width;
      mark_net_changed s id;
      settle_i s
-   | C c -> Compile.force_id c id v);
+   | C c -> Compile.force_id c id v
+   | S sl ->
+     Sliced.force_id sl id v;
+     Sliced.settle sl);
   match t.obs with Some o -> o.on_force name v | None -> ()
 
 let release t name =
@@ -446,7 +510,10 @@ let release t name =
      enqueue_unit s id;
      mark_net_changed s id;
      settle_i s
-   | C c -> Compile.release_id c id);
+   | C c -> Compile.release_id c id
+   | S sl ->
+     Sliced.release_id sl id;
+     Sliced.settle sl);
   match t.obs with Some o -> o.on_release name | None -> ()
 
 let forced t name =
@@ -454,11 +521,16 @@ let forced t name =
   match t.eng with
   | I s -> s.forces.(id) <> None
   | C c -> Compile.forced_id c id
+  | S sl -> Sliced.forced_mask sl id <> 0
 
 let step ?(edge = Ast.Posedge) t clock =
   let clock_id = lookup_id t clock in
   (match t.eng with
    | I s -> step_i ~edge s clock_id
-   | C c -> Compile.step c ~edge clock_id);
-  if Avp_obs.Obs.enabled () then Avp_obs.Obs.incr "sim.steps";
+   | C c -> Compile.step c ~edge clock_id
+   | S sl -> Sliced.step ~edge sl clock_id);
+  (* The sliced kernel counts its own steps (and lanes). *)
+  (match t.eng with
+   | S _ -> ()
+   | _ -> if Avp_obs.Obs.enabled () then Avp_obs.Obs.incr "sim.steps");
   match t.obs with Some o -> o.on_step ~time:(time t) | None -> ()

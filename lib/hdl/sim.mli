@@ -18,15 +18,33 @@ exception Comb_loop of string
 (** Raised when combinational settling fails to converge, naming a
     net that keeps changing. *)
 
-val create : ?engine:[ `Auto | `Interp | `Compiled ] -> Elab.t -> t
+val create : ?engine:[ `Auto | `Interp | `Compiled | `Sliced ] -> Elab.t -> t
 (** [`Auto] (the default) uses the compiled bytecode kernel whenever
     {!Compile.create} supports the design, falling back to the
     tree-walking interpreter otherwise; setting [AVP_SIM_ENGINE=interp]
     in the environment forces the interpreter, which serves as the
-    differential oracle for the compiled engine. *)
+    differential oracle for the compiled engine.  [`Sliced] runs a
+    one-lane instance of the bit-sliced batched kernel ({!Sliced}) —
+    mainly for differential testing; batch users drive {!Sliced}
+    directly — and falls back like [`Auto] when the design is outside
+    its coverage. *)
 
-val engine : t -> [ `Interp | `Compiled ]
+val engine : t -> [ `Interp | `Compiled | `Sliced ]
 (** Which engine [create] actually selected. *)
+
+(** {2 Compile-once templates}
+
+    Callers that simulate one design many times (a simulator per
+    replay trace, hundreds of traces) pay static analysis and
+    bytecode assembly once and stamp out cheap instances. *)
+
+type template
+
+val template : ?engine:[ `Auto | `Interp | `Compiled ] -> Elab.t -> template
+val instantiate : template -> t
+(** A fresh simulator at power-on state. *)
+
+val template_design : template -> Elab.t
 
 val design : t -> Elab.t
 

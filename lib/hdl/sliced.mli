@@ -1,0 +1,117 @@
+(** Bit-sliced batched simulation backend.
+
+    Runs up to {!Avp_logic.Bv_sliced.lanes_limit} (62) independent
+    simulations of one design word-parallel through a single compiled
+    kernel: every net keeps one machine word per bit, and bit L of
+    that word belongs to lane L.  Lane [l] of a batched run is
+    bit-identical to a scalar run of the same stimulus — the scalar
+    engines remain the differential oracle.
+
+    {b Mutant schemata}: {!create_schemata} compiles the pristine
+    design ONCE with per-lane mutation selects (a lane-masked mux
+    between the original expression and the mutated one), so a
+    mutation campaign over N single-site mutants costs ceil(N/62)
+    word-parallel replays instead of N sequential ones.
+
+    Control flow is predicated — an [if] executes both branches, each
+    under the mask of the lanes that took it — so a step costs
+    roughly the union of all lanes' work.  Forcing, releasing, poking
+    and divergence checks all take per-lane masks. *)
+
+open Avp_logic
+
+type t
+
+val create : ?u:Compile.units -> lanes:int -> Elab.t -> t option
+(** A batched simulator with [lanes] identical copies of the design
+    (1..62).  [None] when the design uses a construct the kernel does
+    not cover (currently: ternaries with unequal arm widths, as the
+    scalar compiled engine).  Pass [?u] to reuse a static analysis. *)
+
+val create_schemata :
+  ?u:Compile.units -> base:Elab.t -> Elab.t array -> (t * bool array) option
+(** [create_schemata ~base mutants] compiles [base] with lane [i]
+    carrying [mutants.(i)] (1..62 mutants).  The boolean array flags
+    which mutants could be scheduled into the schemata: unscheduled
+    lanes (structural divergence beyond a single expression site)
+    simulate the pristine base and must be handled by the scalar
+    fallback.  [None] when the base itself is not supported. *)
+
+val reinit : t -> unit
+(** Reset every lane to power-on state (regs all-X, wires all-Z,
+    nothing forced, nothing frozen, time 0) so one kernel serves many
+    trace batches without recompiling. *)
+
+val freeze : t -> mask:int -> unit
+(** Retire the masked lanes until the next {!reinit}: every write
+    path (commits, NBA flushes, pokes, forces) masks them out, so
+    their nets stop changing and their downstream units drop out of
+    the settle worklist.  A campaign freezes a lane once its verdict
+    for the current trace is in, collapsing the word pass's cost to
+    the union of the still-live lanes' activity.  Frozen lanes hold
+    stale values — do not read them back. *)
+
+val frozen_mask : t -> int
+(** Lanes currently frozen. *)
+
+val design : t -> Elab.t
+val lanes : t -> int
+
+val amask : t -> int
+(** Active-lane mask, [(1 lsl lanes) - 1]. *)
+
+val time : t -> int
+
+val settle : t -> unit
+(** @raise Compile.Comb_loop when no fixpoint is reached. *)
+
+val step : ?edge:Ast.edge -> t -> Elab.uid -> unit
+(** Settle, fire sequential blocks on the clock edge, commit
+    nonblocking updates, advance time, settle again — all lanes in
+    lockstep.  Default edge: posedge. *)
+
+(** {1 Per-lane access} — [?mask] defaults to all active lanes *)
+
+val poke_id : ?mask:int -> t -> Elab.uid -> Bv.t -> unit
+(** Write the value into the masked lanes without settling; forced
+    lanes are skipped, like the scalar [poke]. *)
+
+val set_id : ?mask:int -> t -> Elab.uid -> Bv.t -> unit
+(** [poke_id] followed by {!settle}. *)
+
+val force_id : ?mask:int -> t -> Elab.uid -> Bv.t -> unit
+(** Pin the masked lanes to the value.  Does NOT settle: comb
+    settling is confluent, so batched stimulus (hundreds of per-lane
+    forces per cycle) defers the fixpoint to the next {!settle} or
+    {!step} instead of paying one settle per call.  Call {!settle}
+    before reading combinational nets. *)
+
+val force_lanes : t -> Elab.uid -> Bv.t option array -> unit
+(** Pin a per-lane value (index = lane; [None] leaves the lane
+    untouched) with a single readers mark — the batched form of
+    {!force_id} the vector replay uses, one call per net per cycle
+    instead of one per (lane, net).  Does not settle. *)
+
+val release_id : ?mask:int -> t -> Elab.uid -> unit
+(** Unpin the masked lanes and re-enqueue the net's driver.  Does NOT
+    settle, like {!force_id}. *)
+
+val forced_mask : t -> Elab.uid -> int
+(** Lanes in which the net is currently forced. *)
+
+val get_lane : t -> lane:int -> Elab.uid -> Bv.t
+(** One lane's value of a net as a scalar vector. *)
+
+val check_net : ?mask:int -> t -> Elab.uid -> predicted:int -> int * int
+(** [(bad, neq)] lane masks against a broadcast predicted value:
+    [bad] has the lanes whose value cannot encode a state (an
+    undefined bit, or a net wider than the packed limit — matching
+    the scalar checker's failure), [neq] the remaining lanes whose
+    defined value differs from [predicted].  The masks are disjoint
+    and confined to [?mask] (default: all active lanes). *)
+
+val check_net_lanes :
+  ?mask:int -> t -> Elab.uid -> predicted:int array -> int * int
+(** As {!check_net} with a per-lane predicted value (index = lane) —
+    the shape batched trace replay needs, where every lane follows a
+    different tour trace. *)

@@ -112,48 +112,210 @@ let guard f =
     Some ("checked net left the defined domain: " ^ msg)
   | exception e -> Some ("replay raised: " ^ Printexc.to_string e)
 
+(* Assemble the final classification from the two oracle outcomes
+   ([Some detail] = caught) — shared by the scalar path and the
+   sliced schemata path, so both produce byte-identical reports. *)
+let verdict ~max_equiv_states ~graph ~dut tour random =
+  match (tour, random) with
+  | None, None -> (
+    match Filter.equivalent ~max_states:max_equiv_states ~pristine:graph dut with
+    | `Equivalent -> Equivalent
+    | `Different why | `Unknown why -> Survived why)
+  | Some d, r -> Killed { by_tour = true; by_random = r <> None; detail = d }
+  | None, Some d -> Killed { by_tour = false; by_random = true; detail = d }
+
+let classify_vetted ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
+    ~tour_out ~rand_out dut =
+  (* Tour oracle: per-cycle state predictions from the enumerated
+     graph (the tour knows the transition taken every cycle), plus
+     the expected outputs.  Random oracle: outputs only — golden-
+     model lockstep is all the observability random vectors have. *)
+  let tour =
+    match
+      guard (fun () ->
+          Avp_vectors.Replay.check ~dut ~vectors:tvecs tr graph tours)
+    with
+    | Some d -> Some d
+    | None ->
+      guard (fun () ->
+          Avp_vectors.Replay.check_nets ~dut tr ~nets:outs
+            ~predicted:tour_out tvecs)
+  in
+  let random =
+    guard (fun () ->
+        Avp_vectors.Replay.check_nets ~dut tr ~nets:outs ~predicted:rand_out
+          rvecs)
+  in
+  verdict ~max_equiv_states ~graph ~dut tour random
+
 let classify ~top ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
     ~tour_out ~rand_out (m : Gen.mutant) =
   match Filter.vet ?top m.Gen.design with
   | `Stillborn msg -> Stillborn msg
   | `Static msg -> Killed_static msg
-  | `Ok dut -> (
-    (* Tour oracle: per-cycle state predictions from the enumerated
-       graph (the tour knows the transition taken every cycle), plus
-       the expected outputs.  Random oracle: outputs only — golden-
-       model lockstep is all the observability random vectors have. *)
-    let tour =
-      match
-        guard (fun () ->
-            Avp_vectors.Replay.check ~dut ~vectors:tvecs tr graph tours)
-      with
-      | Some d -> Some d
-      | None ->
-        guard (fun () ->
-            Avp_vectors.Replay.check_nets ~dut tr ~nets:outs
-              ~predicted:tour_out tvecs)
-    in
-    let random =
-      guard (fun () ->
-          Avp_vectors.Replay.check_nets ~dut tr ~nets:outs
-            ~predicted:rand_out rvecs)
-    in
-    match (tour, random) with
-    | None, None -> (
-      match Filter.equivalent ~max_states:max_equiv_states ~pristine:graph dut with
-      | `Equivalent -> Equivalent
-      | `Different why | `Unknown why -> Survived why)
-    | Some d, r ->
-      Killed { by_tour = true; by_random = r <> None; detail = d }
-    | None, Some d ->
-      Killed { by_tour = false; by_random = true; detail = d })
+  | `Ok dut ->
+    classify_vetted ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
+      ~tour_out ~rand_out dut
+
+(* ---------------------------------------------------------------- *)
+(* Bit-sliced schemata passes                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* One replay of one vector set, all lanes word-parallel, serving a
+   CHAIN of oracles: stimulus is broadcast (every mutant sees the
+   same vectors), only the checks are per lane.  Oracle [k] is
+   consumed by the caller only for lanes every earlier oracle passed
+   clean — the [classify_vetted] chain (state oracle, then output
+   oracle) — so a lane with an issue in oracle [j] stops checking in
+   every oracle after [j].  [o_need] names the lanes whose result the
+   caller will consume at all; the rest never simulate.  Returns, per
+   oracle per lane, the detail string the scalar [guard] would have
+   produced, or [None] for a clean pass.
+
+   Scalar fidelity rules, per oracle, lane by lane:
+   - the first mismatch (lowest trace, then lowest cycle, then
+     checked-net order) is the one recorded;
+   - after a lane's first issue in a trace, the lane is not checked
+     again within that trace (the scalar replay stops the trace), but
+     is checked again in later traces — where an [Unsupported] escape
+     would preempt the recorded mismatch, because the scalar shard
+     loop runs every trace and the exception escapes the final scan;
+   - a lane with an escape is retired from all later traces.
+
+   The word pass exploits those rules for speed: once EVERY oracle is
+   done with a lane for the current trace, the lane is frozen in the
+   kernel (its nets stop toggling, so a chunk of dead mutants costs
+   only the live lanes' settle activity), and the trace is abandoned
+   outright once every lane has stopped everywhere — the batched
+   analogue of the scalar replay's first-mismatch early exit.
+   Fusing the state and output oracles into ONE replay of the tour
+   vectors also halves the tour passes: both oracles watch the same
+   simulation, which is sound because checks never perturb it. *)
+type oracle = {
+  o_ids : Avp_hdl.Elab.uid array;
+  o_names : string array;
+  o_predict : int -> int -> int -> int;  (* trace -> cycle -> net -> value *)
+  o_need : int;
+}
+
+let sliced_phases sim ~lookup ~clock ~reset (oracles : oracle array)
+    (vectors : Avp_vectors.Vector.t array) =
+  let module S = Avp_hdl.Sliced in
+  let lanes = S.lanes sim in
+  let amask = S.amask sim in
+  let no = Array.length oracles in
+  let one = Avp_logic.Bv.of_int ~width:1 1
+  and zero = Avp_logic.Bv.of_int ~width:1 0 in
+  let exn = Array.init no (fun _ -> Array.make lanes None) in
+  let mis = Array.init no (fun _ -> Array.make lanes None) in
+  let exn_mask = Array.make no 0 in
+  let issue = Array.make no 0 in  (* lanes with any recorded issue *)
+  let stopped = Array.make no 0 in  (* per trace: lanes not checked *)
+  for ti = 0 to Array.length vectors - 1 do
+    let irrelevant = ref 0 in
+    for k = 0 to no - 1 do
+      stopped.(k) <-
+        amask
+        land lnot
+              (oracles.(k).o_need land lnot exn_mask.(k)
+              land lnot !irrelevant);
+      irrelevant := !irrelevant lor issue.(k)
+    done;
+    let frozen0 = Array.fold_left ( land ) amask stopped in
+    if frozen0 <> amask then begin
+      S.reinit sim;
+      S.freeze sim ~mask:frozen0;
+      (* Returns [true] once every oracle has stopped every lane —
+         the rest of the trace cannot change any recorded result. *)
+      let compare_at cycle =
+        let newly = ref false in
+        for k = 0 to no - 1 do
+          let o = oracles.(k) in
+          Array.iteri
+            (fun vi id ->
+              let m = amask land lnot stopped.(k) in
+              if m <> 0 then begin
+                let p = o.o_predict ti cycle vi in
+                let bad, neq = S.check_net ~mask:m sim id ~predicted:p in
+                let flagged = bad lor neq in
+                if flagged <> 0 then begin
+                  for l = 0 to lanes - 1 do
+                    if (flagged lsr l) land 1 = 1 then begin
+                      let bv = S.get_lane sim ~lane:l id in
+                      match Translate.value_of_bv bv with
+                      | actual ->
+                        if mis.(k).(l) = None then
+                          mis.(k).(l) <-
+                            Some
+                              {
+                                Avp_vectors.Replay.trace = ti;
+                                cycle;
+                                net = o.o_names.(vi);
+                                actual;
+                                predicted = p;
+                              }
+                      | exception Translate.Unsupported msg ->
+                        exn.(k).(l) <- Some msg;
+                        exn_mask.(k) <- exn_mask.(k) lor (1 lsl l)
+                    end
+                  done;
+                  issue.(k) <- issue.(k) lor flagged;
+                  for k' = k to no - 1 do
+                    stopped.(k') <- stopped.(k') lor flagged
+                  done;
+                  newly := true
+                end
+              end)
+            o.o_ids
+        done;
+        if !newly then begin
+          let all = Array.fold_left ( land ) amask stopped in
+          S.freeze sim ~mask:all;
+          all = amask
+        end
+        else false
+      in
+      S.set_id sim reset one;
+      S.step sim clock;
+      S.set_id sim reset zero;
+      if not (compare_at (-1)) then begin
+        try
+          Array.iteri
+            (fun i { Avp_vectors.Vector.actions } ->
+              List.iter
+                (fun a ->
+                  match a with
+                  | Avp_vectors.Vector.Force (nm, v) ->
+                    S.force_id sim (lookup nm) v
+                  | Avp_vectors.Vector.Release nm ->
+                    S.release_id sim (lookup nm))
+                actions;
+              S.step sim clock;
+              if compare_at i then raise Exit)
+            vectors.(ti)
+        with Exit -> ()
+      end
+    end
+  done;
+  Array.init no (fun k ->
+      Array.init lanes (fun l ->
+          match exn.(k).(l) with
+          | Some msg ->
+            Some ("checked net left the defined domain: " ^ msg)
+          | None -> (
+            match mis.(k).(l) with
+            | Some m ->
+              Some (Format.asprintf "%a" Avp_vectors.Replay.pp_mismatch m)
+            | None -> None)))
 
 (* ---------------------------------------------------------------- *)
 (* The campaign                                                     *)
 (* ---------------------------------------------------------------- *)
 
 let run ?families ?(seed = 1) ?budget ?(domains = 1)
-    ?(max_equiv_states = 10_000) ?top ?progress ~design ~tr ~graph ~tours () =
+    ?(max_equiv_states = 10_000) ?top ?progress
+    ?(engine : [ `Scalar | `Sliced ] = `Sliced)
+    ?(lanes = Avp_logic.Bv_sliced.lanes_limit) ~design ~tr ~graph ~tours () =
   let mutants =
     let all = Gen.all ?families design in
     match budget with
@@ -178,13 +340,7 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
   (* One span per mutant, its args the deterministic classification —
      so normalized trace output is -j invariant like the report. *)
   let module Obs = Avp_obs.Obs in
-  let work i =
-    let t0 = Obs.Clock.now_s () in
-    let cls =
-      classify ~top ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
-        ~tour_out ~rand_out
-        mutants.(i)
-    in
+  let finish ~t0 i cls =
     out.(i) <- cls;
     if Obs.enabled () then
       Obs.complete ~cat:"mutate" "mutate.classify"
@@ -205,19 +361,179 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
     | Some p -> Avp_obs.Progress.tick p
     | None -> ()
   in
-  let domains = max 1 (min domains (max 1 n)) in
-  if domains = 1 then
-    for i = 0 to n - 1 do
-      work i
-    done
-  else
-    Pool.with_pool ~domains (fun pool ->
-        Pool.run pool (fun slot ->
-            let i = ref slot in
-            while !i < n do
-              work !i;
-              i := !i + domains
-            done));
+  let classify_scalar i =
+    let t0 = Obs.Clock.now_s () in
+    let cls =
+      classify ~top ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
+        ~tour_out ~rand_out
+        mutants.(i)
+    in
+    finish ~t0 i cls
+  in
+  (* Mutant-level sharding: the scalar engine's whole campaign, and
+     the sliced engine's leftovers (unschedulable mutants, chunks the
+     kernel aborted on). *)
+  let scalar_pass indices =
+    let m = Array.length indices in
+    let domains = max 1 (min domains (max 1 m)) in
+    if domains = 1 then Array.iter classify_scalar indices
+    else
+      Pool.with_pool ~domains (fun pool ->
+          Pool.run pool (fun slot ->
+              let i = ref slot in
+              while !i < m do
+                classify_scalar indices.(!i);
+                i := !i + domains
+              done))
+  in
+  (match engine with
+   | `Scalar -> scalar_pass (Array.init n (fun i -> i))
+   | `Sliced ->
+     let lanes = max 1 (min lanes Avp_logic.Bv_sliced.lanes_limit) in
+     let fallback = ref [] in
+     (match Avp_hdl.Elab.elaborate ?top design with
+      | exception _ ->
+        for i = n - 1 downto 0 do
+          fallback := i :: !fallback
+        done
+      | base ->
+        let units = Avp_hdl.Compile.units base in
+        (* Vet every mutant up front: stillborn and statically-killed
+           mutants classify without simulating, the survivors'
+           elaborations become schemata lanes. *)
+        let cands = ref [] in
+        for i = 0 to n - 1 do
+          let t0 = Obs.Clock.now_s () in
+          match Filter.vet ?top mutants.(i).Gen.design with
+          | `Stillborn msg -> finish ~t0 i (Stillborn msg)
+          | `Static msg -> finish ~t0 i (Killed_static msg)
+          | `Ok dut -> cands := (i, dut) :: !cands
+        done;
+        let cands = Array.of_list (List.rev !cands) in
+        let nc = Array.length cands in
+        let chunks = (nc + lanes - 1) / lanes in
+        let net_id nm = (Avp_hdl.Elab.net base nm).Avp_hdl.Elab.id in
+        let clock = net_id tr.Translate.clock
+        and reset = net_id tr.Translate.reset in
+        let lookup =
+          let tbl = Hashtbl.create 16 in
+          fun nm ->
+            match Hashtbl.find_opt tbl nm with
+            | Some id -> id
+            | None ->
+              let id = net_id nm in
+              Hashtbl.add tbl nm id;
+              id
+        in
+        let state_names = Avp_vectors.Replay.state_nets tr in
+        let state_ids = Array.map net_id state_names in
+        let out_ids = Array.map net_id outs in
+        let predict_tour ti cycle vi =
+          let trace = tours.Avp_tour.Tour_gen.traces.(ti) in
+          let state =
+            if cycle < 0 then trace.(0).Avp_tour.Tour_gen.src
+            else trace.(cycle).Avp_tour.Tour_gen.dst
+          in
+          graph.State_graph.states.(state).(vi)
+        in
+        let predict_rows rows ti cycle vi = rows.(ti).(cycle + 1).(vi) in
+        for ci = 0 to chunks - 1 do
+          let c0 = ci * lanes in
+          let k = min lanes (nc - c0) in
+          let group = Array.sub cands c0 k in
+          let tc0 = Obs.Clock.now_s () in
+          let scheduled_n = ref 0 in
+          (* The pass span covers the word-parallel replay only; the
+             verdicts (including the equivalence enumerations for the
+             escapees) run after it closes. *)
+          let pass_span () =
+            if Obs.enabled () then
+              Obs.complete ~cat:"mutate" "mutate.pass"
+                ~dur_s:(Obs.Clock.now_s () -. tc0)
+                ~args:
+                  [
+                    ("pass", Obs.Int ci);
+                    ("lanes", Obs.Int k);
+                    ("scheduled", Obs.Int !scheduled_n);
+                  ]
+          in
+          (match
+             Avp_hdl.Sliced.create_schemata ~u:units ~base
+               (Array.map snd group)
+           with
+           | None ->
+             pass_span ();
+             Array.iter (fun (i, _) -> fallback := i :: !fallback) group
+           | Some (sim, scheduled) -> (
+             Array.iter (fun s -> if s then incr scheduled_n) scheduled;
+             match
+               (* Only scheduled lanes simulate.  One fused replay of
+                  the tour vectors serves both tour oracles — the
+                  output oracle (p2) chains behind the state oracle
+                  (p1), whose issues make a lane's p2 result
+                  unconsumed — then one replay of the random
+                  vectors. *)
+               let smask = ref 0 in
+               Array.iteri
+                 (fun l s -> if s then smask := !smask lor (1 lsl l))
+                 scheduled;
+               let tp =
+                 sliced_phases sim ~lookup ~clock ~reset
+                   [|
+                     {
+                       o_ids = state_ids;
+                       o_names = state_names;
+                       o_predict = predict_tour;
+                       o_need = !smask;
+                     };
+                     {
+                       o_ids = out_ids;
+                       o_names = outs;
+                       o_predict = predict_rows tour_out;
+                       o_need = !smask;
+                     };
+                   |]
+                   tvecs
+               in
+               let rp =
+                 sliced_phases sim ~lookup ~clock ~reset
+                   [|
+                     {
+                       o_ids = out_ids;
+                       o_names = outs;
+                       o_predict = predict_rows rand_out;
+                       o_need = !smask;
+                     };
+                   |]
+                   rvecs
+               in
+               (tp.(0), tp.(1), rp.(0))
+             with
+             | p1, p2, p3 ->
+               pass_span ();
+               Array.iteri
+                 (fun l (i, dut) ->
+                   if not scheduled.(l) then fallback := i :: !fallback
+                   else begin
+                     let t0 = Obs.Clock.now_s () in
+                     let tour =
+                       match p1.(l) with Some d -> Some d | None -> p2.(l)
+                     in
+                     finish ~t0 i
+                       (verdict ~max_equiv_states ~graph ~dut tour p3.(l))
+                   end)
+                 group
+             | exception _ ->
+               (* One lane drove the kernel outside its envelope (a
+                  mutation-induced comb loop aborts the whole word):
+                  reclassify the chunk lane by lane on the scalar
+                  path, which attributes the failure to the mutant
+                  that caused it. *)
+               scheduled_n := 0;
+               pass_span ();
+               Array.iter (fun (i, _) -> fallback := i :: !fallback) group))
+        done);
+     scalar_pass (Array.of_list (List.rev !fallback)));
   let results =
     Array.init n (fun i -> { mutant = mutants.(i); cls = out.(i) })
   in

@@ -78,6 +78,8 @@ val run :
   ?max_equiv_states:int ->
   ?top:string ->
   ?progress:Avp_obs.Progress.t ->
+  ?engine:[ `Scalar | `Sliced ] ->
+  ?lanes:int ->
   design:Avp_hdl.Ast.design ->
   tr:Avp_fsm.Translate.result ->
   graph:Avp_enum.State_graph.t ->
@@ -86,7 +88,20 @@ val run :
   report
 (** [seed] (default 1) drives both the mutant sample and the random
     baseline; [budget] bounds the number of mutants (default: all);
-    [domains] (default 1) parallelizes the per-mutant work. *)
+    [domains] (default 1) parallelizes the per-mutant work.
+
+    [engine] (default [`Sliced]) selects the replay backend.
+    [`Sliced] compiles the pristine design {e once} as mutant
+    schemata ({!Avp_hdl.Sliced.create_schemata}) and classifies up to
+    [lanes] (default 62) mutants word-parallel per replay pass —
+    ceil(candidates/lanes) passes instead of one full replay per
+    mutant.  Mutants the schemata kernel cannot carry (structural
+    divergence beyond one expression site, or a mutation-induced comb
+    loop that aborts the shared word) fall back to the scalar path,
+    sharded over [domains] as in [`Scalar] mode.  Classifications —
+    including kill details and x/z escape messages — are byte-
+    identical between engines and for any [lanes] value; {!to_json}
+    is the equality witness the test suite checks. *)
 
 val to_json : report -> string
 (** Deterministic machine-readable report: header rates, per-family

@@ -33,6 +33,7 @@ val state_nets : Avp_fsm.Translate.result -> string array
 val check :
   ?dut:Avp_hdl.Elab.t ->
   ?domains:int ->
+  ?parallel_threshold:int ->
   ?progress:Avp_obs.Progress.t ->
   ?vectors:Vector.t array ->
   Avp_fsm.Translate.result ->
@@ -52,13 +53,37 @@ val check :
     one simulator per domain, traces sharded round-robin.  The result
     is deterministic and identical to the sequential run: vector
     generation stays on the calling domain, and the merge reports the
-    lowest-numbered failing trace.
+    lowest-numbered failing trace.  [?parallel_threshold] (default
+    4096) keeps the replay sequential unless every requested domain
+    would get at least that many cycles of work — small replays lose
+    more to domain spawn and cache contention than they gain.
 
     [?dut] substitutes a different elaborated design as the device
     under test (it must declare the same annotated nets): vectors
     generated from the specification's model then validate a modified
     implementation — the step-4 comparison at the HDL level.  Any
     divergence from the predicted state sequence is a caught bug. *)
+
+val check_batch :
+  ?dut:Avp_hdl.Elab.t ->
+  ?lanes:int ->
+  ?domains:int ->
+  ?parallel_threshold:int ->
+  ?progress:Avp_obs.Progress.t ->
+  ?vectors:Vector.t array ->
+  Avp_fsm.Translate.result ->
+  Avp_enum.State_graph.t ->
+  Avp_tour.Tour_gen.t ->
+  (stats, mismatch) result
+(** {!check} on the bit-sliced batched kernel: up to [lanes] (default
+    62) traces replay word-parallel through one compiled simulator,
+    each lane following its own trace's force/release stimulus, the
+    clock stepping every lane in lockstep.  The result — including
+    which mismatch is reported and which [Unsupported] escape is
+    raised — is identical to the sequential {!check}.  Falls back to
+    {!check} when the design is outside the sliced kernel's
+    coverage.  [?domains] shards whole chunks (one kernel per
+    domain); it composes with the lane-level parallelism. *)
 
 val record :
   ?dut:Avp_hdl.Elab.t ->
@@ -76,6 +101,7 @@ val record :
 val check_nets :
   dut:Avp_hdl.Elab.t ->
   ?domains:int ->
+  ?parallel_threshold:int ->
   ?progress:Avp_obs.Progress.t ->
   Avp_fsm.Translate.result ->
   nets:string array ->

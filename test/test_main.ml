@@ -6,6 +6,7 @@ let () =
       ("hdl2", Test_hdl2.suite);
       ("expr-fuzz", Test_expr_fuzz.suite);
       ("sim-diff", Test_sim_diff.suite);
+      ("sliced", Test_sliced.suite);
       ("sml", Test_sml.suite);
       ("hdl-mutation", Test_hdl_mutation.suite);
       ("core", Test_core.suite);

@@ -96,6 +96,26 @@ let test_campaign_domain_invariant () =
   let j1 = run 1 and j2 = run 2 in
   Alcotest.(check string) "identical report across domain counts" j1 j2
 
+(* The bit-sliced schemata engine is a pure performance play: the
+   report — kill details, escape messages, survivor notes — must be
+   byte-identical to the scalar engine's, whatever the lane count. *)
+let test_campaign_engine_invariant () =
+  let tr, graph, tours = Lazy.force golden in
+  let d = Lazy.force design in
+  let run ~engine ~lanes =
+    Campaign.to_json
+      (Campaign.run ~seed:3 ~budget:24 ~engine ~lanes ~design:d ~tr ~graph
+         ~tours ())
+  in
+  let scalar = run ~engine:`Scalar ~lanes:1 in
+  List.iter
+    (fun lanes ->
+      Alcotest.(check string)
+        (Printf.sprintf "sliced lanes=%d matches scalar" lanes)
+        scalar
+        (run ~engine:`Sliced ~lanes))
+    [ 1; 8; 62 ]
+
 (* --- vetting and equivalence -------------------------------------- *)
 
 let test_vet_pristine () =
@@ -143,6 +163,8 @@ let suite =
       test_random_tours_profile;
     Alcotest.test_case "campaign invariant across domains" `Slow
       test_campaign_domain_invariant;
+    Alcotest.test_case "campaign invariant across engines and lanes" `Slow
+      test_campaign_engine_invariant;
     Alcotest.test_case "pristine design passes vetting" `Quick
       test_vet_pristine;
     Alcotest.test_case "pristine equivalent to itself" `Quick
