@@ -203,15 +203,31 @@ let translate_cmd =
     Term.(const run $ file_arg $ top_arg $ murphi_arg)
 
 let enumerate_cmd =
-  let run file top all_conditions dot domains trace metrics =
+  let run file top all_conditions dot domains trace metrics absint =
     with_obs ~trace ~metrics @@ fun () ->
     let progress = make_progress "enumerate" in
-    let g =
-      State_graph.enumerate ~all_conditions ?domains ~progress
-        (load_model file top)
+    (* --absint: prove per-net state invariants first and use them as
+       a frontier filter.  The filter is sound, so the graph must be
+       identical and stats.pruned must stay 0 — a nonzero count means
+       the abstract interpreter claimed an invariant the real design
+       violates, which is exactly what the exit code reports. *)
+    let model, admit =
+      if absint && not (Filename.check_suffix file ".sml") then begin
+        let tr = load_translation file top in
+        let inv = Avp_analysis.Absint.analyze tr.Translate.elab in
+        (tr.Translate.model, Avp_analysis.Absint.admit inv tr)
+      end
+      else (load_model file top, None)
     in
+    let g = State_graph.enumerate ~all_conditions ?domains ~progress ?admit model in
     Avp_obs.Progress.finish progress;
     Format.printf "%a@." State_graph.pp_stats g.State_graph.stats;
+    let pruned = g.State_graph.stats.State_graph.pruned in
+    if absint && pruned > 0 then
+      Format.printf
+        "UNSOUND: the absint frontier filter rejected %d reachable-state \
+         occurrences@."
+        pruned;
     (match State_graph.absorbing_states g with
      | [] -> ()
      | dead ->
@@ -227,7 +243,7 @@ let enumerate_cmd =
        Format.fprintf ppf "%a@." State_graph.pp_dot g;
        close_out oc;
        Format.printf "wrote %s@." path);
-    0
+    if absint && pruned > 0 then 1 else 0
   in
   let dot_arg =
     Arg.(
@@ -235,11 +251,20 @@ let enumerate_cmd =
       & opt (some string) None
       & info [ "dot" ] ~docv:"OUT" ~doc:"Write a Graphviz rendering.")
   in
+  let absint_arg =
+    Arg.(
+      value & flag
+      & info [ "absint" ]
+          ~doc:"Prove per-net state invariants by abstract interpretation \
+                first and use them as a sound frontier filter; exits 1 if \
+                the filter ever fires (it proved something false).  \
+                Verilog inputs only.")
+  in
   Cmd.v
     (Cmd.info "enumerate" ~doc:"Fully enumerate the control state graph.")
     Term.(
       const run $ file_arg $ top_arg $ all_conditions_arg $ dot_arg
-      $ domains_arg $ trace_arg $ metrics_arg)
+      $ domains_arg $ trace_arg $ metrics_arg $ absint_arg)
 
 let tour_cmd =
   let run file top all_conditions limit domains trace metrics =
@@ -597,7 +622,12 @@ let validate_cmd =
 
 let lint_cmd =
   let open Avp_analysis in
-  let run file top json only ignored strict fsm =
+  let run file top json only ignored strict fsm absint rules_md =
+    if rules_md then begin
+      print_string (Analysis.rules_markdown ());
+      0
+    end
+    else
     match
       List.find_opt
         (fun r -> not (Analysis.is_rule r))
@@ -628,7 +658,7 @@ let lint_cmd =
             if file = "pp" then Avp_pp.Control_hdl.source else read_file file
           in
           let elab = Elab.elaborate ?top (Parser.parse src) in
-          let netlist = Analysis.run ~only ~ignore:ignored elab in
+          let netlist = Analysis.run ~only ~ignore:ignored ~absint elab in
           let fsm_findings =
             if not fsm then []
             else
@@ -684,6 +714,22 @@ let lint_cmd =
                 (requires avp state annotations; .sml inputs always get \
                 them).")
   in
+  let absint_arg =
+    Arg.(
+      value & flag
+      & info [ "absint" ]
+          ~doc:"Also run the abstract-interpretation fixpoint and report \
+                its invariant-backed findings (constant-net, \
+                unreachable-branch, redundant-reset).  Verilog designs \
+                only.")
+  in
+  let rules_md_arg =
+    Arg.(
+      value & flag
+      & info [ "rules-md" ]
+          ~doc:"Print the rules table as GitHub markdown (the README \
+                embeds it; a test asserts they match) and exit.")
+  in
   let man =
     [
       `S Manpage.s_description;
@@ -719,7 +765,90 @@ let lint_cmd =
              subset.")
     Term.(
       const run $ file_arg $ top_arg $ json_arg $ only_arg $ ignore_arg
-      $ strict_arg $ fsm_arg)
+      $ strict_arg $ fsm_arg $ absint_arg $ rules_md_arg)
+
+let invariants_cmd =
+  let open Avp_analysis in
+  let run file top json =
+    let fname = if file = "pp" then "pp_control.v" else file in
+    let src =
+      if file = "pp" then Avp_pp.Control_hdl.source else read_file file
+    in
+    let elab = Elab.elaborate ?top (Parser.parse src) in
+    let inv = Absint.analyze elab in
+    let facts = Absint.facts inv in
+    let n = Array.length elab.Elab.nets in
+    (* Every net the analysis proved something about, id order: the
+       output is deterministic and independent of -j anywhere. *)
+    let rows = ref [] in
+    for id = n - 1 downto 0 do
+      if not inv.Absint.tops.(id) then begin
+        let a = inv.Absint.steady.(id) in
+        let r = inv.Absint.run.(id) in
+        let show_run = inv.Absint.run_distinct && Absint.interesting r in
+        if Absint.interesting a || show_run then
+          rows :=
+            ( elab.Elab.nets.(id).Elab.name,
+              a.Absint.w,
+              Absint.av_str a,
+              if show_run then Some (Absint.av_str r) else None )
+            :: !rows
+      end
+    done;
+    let rows = !rows in
+    if json then begin
+      let b = Buffer.create 1024 in
+      let str s = "\"" ^ Finding.json_escape s ^ "\"" in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\n  \"design\": %s,\n  \"run_distinct\": %b,\n  \
+            \"proven_constants\": %d,\n  \"nets\": [" (str fname)
+           inv.Absint.run_distinct
+           (Compile.facts_count facts));
+      List.iteri
+        (fun i (name, w, all_s, run_s) ->
+          Buffer.add_string b (if i = 0 then "\n" else ",\n");
+          Buffer.add_string b
+            (Printf.sprintf
+               "    { \"net\": %s, \"width\": %d, \"steady\": %s%s }"
+               (str name) w (str all_s)
+               (match run_s with
+                | None -> ""
+                | Some s -> Printf.sprintf ", \"run\": %s" (str s))))
+        rows;
+      Buffer.add_string b "\n  ]\n}\n";
+      print_string (Buffer.contents b)
+    end
+    else begin
+      Format.printf "%s: %d nets, %d with proven invariants, %d constant@."
+        fname n (List.length rows)
+        (Compile.facts_count facts);
+      if not inv.Absint.run_distinct then
+        Format.printf
+          "(no clock/reset directives: post-reset analysis not run)@.";
+      List.iter
+        (fun (name, _, all_s, run_s) ->
+          match run_s with
+          | Some rs when rs <> all_s ->
+            Format.printf "%-24s %s  (post-reset: %s)@." name all_s rs
+          | _ -> Format.printf "%-24s %s@." name all_s)
+        rows
+    end;
+    0
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the invariants as a JSON object (the CI artifact \
+                format).")
+  in
+  Cmd.v
+    (Cmd.info "invariants"
+       ~doc:"Print the abstract interpreter's proven per-net invariants: \
+             known bits of both planes, value ranges, and the post-reset \
+             refinement when clock/reset directives are present.")
+    Term.(const run $ file_arg $ top_arg $ json_arg)
 
 let replay_cmd =
   let run file top limit domains trace metrics vcd report_dir =
@@ -812,7 +941,7 @@ let main =
     (Cmd.info "avp" ~version:"1.0.0" ~doc)
     [
       translate_cmd; enumerate_cmd; tour_cmd; vectors_cmd; replay_cmd;
-      lint_cmd; validate_cmd; mutate_cmd; errata_cmd;
+      lint_cmd; invariants_cmd; validate_cmd; mutate_cmd; errata_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

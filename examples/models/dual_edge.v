@@ -1,0 +1,30 @@
+// Two processes triggered on the same clock edge both write `q` with
+// nonblocking assignments.  The guards happen to be disjoint on a
+// settled reset, but nothing enforces that: when both fire in one
+// cycle the nonblocking commit order is unspecified and the register's
+// next value is whichever process the scheduler ran last.  The race
+// detector reports both write sites as an error.
+module dual_edge(clk, rst, a, b, q);
+  input clk;
+  input rst;
+  input a;
+  input b;
+  output q;
+
+  // avp clock clk
+  // avp reset rst
+
+  reg q;
+
+  always @(posedge clk) begin
+    if (rst)
+      q <= 1'b0;
+    else
+      q <= a;
+  end
+
+  always @(posedge clk) begin
+    if (!rst)
+      q <= b;
+  end
+endmodule

@@ -1,0 +1,25 @@
+// A blocking/nonblocking collision: one clocked process writes `mix`
+// with a blocking assignment, reads it into `q`, and then schedules a
+// nonblocking overwrite of the same net.  Whether the same-cycle
+// reader sees the old or the new value depends on scheduler ordering,
+// which the interpreter and the bytecode engine are free to pick
+// differently — the race detector must flag both write positions
+// before a differential run turns the ambiguity into a bug report.
+module sched_race(clk, rst, a, q);
+  input clk;
+  input rst;
+  input a;
+  output q;
+
+  // avp clock clk
+  // avp reset rst
+
+  reg q;
+  reg mix;
+
+  always @(posedge clk) begin
+    mix = a;
+    q <= mix;
+    mix <= ~a;
+  end
+endmodule

@@ -14,8 +14,14 @@ let rules : (string * Finding.severity * string) list =
      "net driven by more than one non-tri-state source");
     ("seq-and-comb", Finding.Error,
      "net written by both edge-triggered and combinational logic");
-    ("mixed-assignment", Finding.Warning,
+    ("mixed-assignment", Finding.Error,
      "blocking and nonblocking assignment mixed on one net");
+    ("sched-race", Finding.Warning,
+     "blocking and nonblocking procedural writes race on one net; both \
+      positions reported");
+    ("sched-race-edge", Finding.Error,
+     "two processes on the same clock edge write one net: nonblocking \
+      commit order is unspecified");
     ("latch", Finding.Warning,
      "combinational process does not assign a net on every path");
     ("x-source", Finding.Warning,
@@ -42,11 +48,38 @@ let rules : (string * Finding.severity * string) list =
      "rule guard is constant and can never fire (or always fires)");
     ("fsm-check-capped", Finding.Warning,
      "abstract FSM exploration exceeded its budget; checks skipped");
+    ("constant-net", Finding.Warning,
+     "written net proven constant at every reachable point (requires \
+      --absint)");
+    ("unreachable-branch", Finding.Warning,
+     "branch guard proven one-sided on every post-reset cycle (requires \
+      --absint)");
+    ("redundant-reset", Finding.Warning,
+     "reset branch assigns a value the register provably holds anyway \
+      (requires --absint)");
   ]
 
 let rule_names = List.map (fun (n, _, _) -> n) rules
 
 let is_rule name = List.mem name rule_names
+
+let severity_str = function
+  | Finding.Error -> "error"
+  | Finding.Warning -> "warning"
+
+(* The README's rules table is generated from [rules] (see
+   `avp lint --rules-md` and the drift test in test_analysis): edit
+   the list above, never the README by hand. *)
+let rules_markdown () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "| rule | severity | description |\n";
+  Buffer.add_string buf "| --- | --- | --- |\n";
+  List.iter
+    (fun (name, sev, desc) ->
+      Buffer.add_string buf
+        (Printf.sprintf "| `%s` | %s | %s |\n" name (severity_str sev) desc))
+    rules;
+  Buffer.contents buf
 
 (* [only] wins over [ignore] when both are given; empty [only] means
    "all rules". *)
@@ -61,7 +94,7 @@ let filter ?(only = []) ?(ignore = []) findings =
 (* Netlist analysis                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let run ?only ?ignore (d : Elab.t) : Finding.t list =
+let run ?only ?ignore ?(absint = false) (d : Elab.t) : Finding.t list =
   let infos = Dataflow.proc_infos d in
   let findings =
     List.concat
@@ -70,8 +103,15 @@ let run ?only ?ignore (d : Elab.t) : Finding.t list =
         Netlist_passes.latch d infos;
         Netlist_passes.x_source d infos;
         Netlist_passes.width_check d infos;
+        Netlist_passes.races d;
         Netlist_passes.structural d;
       ]
+  in
+  let findings =
+    (* The abstract-interpretation passes need a whole fixpoint run;
+       opt-in so plain lint stays fast on large fuzzed designs. *)
+    if absint then findings @ Absint.findings (Absint.analyze d)
+    else findings
   in
   Finding.sort (filter ?only ?ignore findings)
 

@@ -10,6 +10,10 @@ val rule_names : string list
 
 val is_rule : string -> bool
 
+val rules_markdown : unit -> string
+(** The rules table as GitHub markdown, generated from {!rules} — the
+    README embeds it verbatim and a test asserts it never drifts. *)
+
 val filter :
   ?only:string list -> ?ignore:string list -> Finding.t list ->
   Finding.t list
@@ -17,10 +21,13 @@ val filter :
     "all rules". *)
 
 val run :
-  ?only:string list -> ?ignore:string list -> Avp_hdl.Elab.t ->
-  Finding.t list
-(** All netlist passes (comb-loop, latch, x-source, width,
-    structural), sorted with {!Finding.sort}. *)
+  ?only:string list -> ?ignore:string list -> ?absint:bool ->
+  Avp_hdl.Elab.t -> Finding.t list
+(** All netlist passes (comb-loop, latch, x-source, width, races,
+    structural), sorted with {!Finding.sort}.  [absint] (default
+    false) additionally runs the {!Absint} fixpoint and appends its
+    invariant-backed findings (constant-net, unreachable-branch,
+    redundant-reset). *)
 
 val run_model :
   ?only:string list ->

@@ -5,7 +5,11 @@
 open Avp_hdl
 
 let net_name (d : Elab.t) id = d.Elab.nets.(id).Elab.name
-let net_loc (d : Elab.t) id = d.Elab.nets.(id).Elab.loc
+
+(* Declaration position when the net has one; elaboration-introduced
+   nets (port connections, flattened instances) fall back to their
+   first assignment site so findings stop pointing at 0:0. *)
+let net_loc = Dataflow.net_loc
 
 (* ------------------------------------------------------------------ *)
 (* comb-loop: combinational cycles                                    *)
@@ -357,6 +361,99 @@ let width_check (d : Elab.t) (infos : Dataflow.proc_info array) :
             check_expr loc e)
     )
     infos;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* races: scheduling hazards between assignment sites                 *)
+(* ------------------------------------------------------------------ *)
+
+let pos_str (loc : Ast.loc) =
+  Printf.sprintf "%d:%d" loc.Ast.line loc.Ast.col
+
+(* The per-statement spans kept in [Elab.write_sites] make two
+   scheduling hazards reportable with both positions:
+
+   - sched-race: a net written by both a blocking and a nonblocking
+     procedural assignment.  Whether a same-cycle reader sees the old
+     or the new value depends on scheduler ordering, which the
+     interpreter and the bytecode engine are free to pick differently.
+   - sched-race-edge: two distinct edge-triggered processes fire on
+     the same edge of the same clock and both write the net; the
+     commit order of their nonblocking updates is unspecified, so the
+     net's next value is whichever process the scheduler runs last.
+
+   Continuous assignments are excluded: an [Assign] is a drive, not a
+   scheduled write, and multi-driver conflicts are the domain of
+   multiple-drivers / x-source. *)
+let races (d : Elab.t) : Finding.t list =
+  let n = Array.length d.Elab.nets in
+  let blocking = Array.make n None and nonblocking = Array.make n None in
+  Array.iteri
+    (fun pi sites ->
+      match d.Elab.processes.(pi) with
+      | Elab.Assign _ -> ()
+      | Elab.Comb _ | Elab.Seq _ ->
+        List.iter
+          (fun (id, nb, loc) ->
+            let slot = if nb then nonblocking else blocking in
+            if slot.(id) = None then slot.(id) <- Some loc)
+          sites)
+    d.Elab.write_sites;
+  let out = ref [] in
+  for id = 0 to n - 1 do
+    match (blocking.(id), nonblocking.(id)) with
+    | Some bl, Some nl ->
+      out :=
+        Finding.make ~net_id:id ~net:(net_name d id) ~loc:bl Finding.Warning
+          "sched-race"
+          (Printf.sprintf
+             "blocking write at %s races the nonblocking write at %s: a \
+              same-cycle reader sees either value depending on scheduling"
+             (pos_str bl) (pos_str nl))
+        :: !out
+    | _ -> ()
+  done;
+  (* Same-edge dual writers: (edge, clock, process, first site). *)
+  let edge_writers = Array.make n [] in
+  Array.iteri
+    (fun pi sites ->
+      match d.Elab.processes.(pi) with
+      | Elab.Seq (edges, _) ->
+        List.iter
+          (fun (id, _, loc) ->
+            List.iter
+              (fun (edge, clk) ->
+                if
+                  not
+                    (List.exists
+                       (fun (e, c, p, _) -> e = edge && c = clk && p = pi)
+                       edge_writers.(id))
+                then edge_writers.(id) <- (edge, clk, pi, loc) :: edge_writers.(id))
+              edges)
+          sites
+      | _ -> ())
+    d.Elab.write_sites;
+  for id = 0 to n - 1 do
+    let writers = List.rev edge_writers.(id) in
+    let rec pair = function
+      | [] -> ()
+      | (e, c, _, l1) :: rest -> (
+        match List.find_opt (fun (e', c', _, _) -> e' = e && c' = c) rest with
+        | Some (_, _, _, l2) ->
+          out :=
+            Finding.make ~net_id:id ~net:(net_name d id) ~loc:l1 Finding.Error
+              "sched-race-edge"
+              (Printf.sprintf
+                 "written at %s and %s by two processes triggered on %s %s: \
+                  the nonblocking commit order is unspecified"
+                 (pos_str l1) (pos_str l2)
+                 (match e with Ast.Posedge -> "posedge" | Ast.Negedge -> "negedge")
+                 (net_name d c))
+            :: !out
+        | None -> pair rest)
+    in
+    pair writers
+  done;
   List.rev !out
 
 (* ------------------------------------------------------------------ *)

@@ -24,6 +24,15 @@ val width_check : Elab.t -> Dataflow.proc_info array -> Finding.t list
     using significant widths so unsized 32-bit literals do not flood
     the report. *)
 
+val races : Elab.t -> Finding.t list
+(** Scheduling hazards, with both assignment positions in the
+    message: a blocking and a nonblocking procedural write to one net
+    (warning [sched-race]), and two edge-triggered processes writing
+    one net on the same edge of the same clock (error
+    [sched-race-edge]) — in both cases the observed value depends on
+    unspecified scheduler ordering. *)
+
 val structural : Elab.t -> Finding.t list
-(** The original {!Lint} rules, re-dressed with net ids and
-    declaration positions. *)
+(** The original {!Lint} rules, re-dressed with net ids and source
+    positions ({!Dataflow.net_loc}: declaration, else first
+    assignment site). *)

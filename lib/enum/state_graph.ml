@@ -9,6 +9,7 @@ type stats = {
   heap_mb : float;
   domains : int;
   level_times : (int * float) array;
+  pruned : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -134,7 +135,7 @@ let batch_edge_cap = 1 lsl 20
 let default_parallel_threshold = 4096
 
 let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
-    ?(parallel_threshold = default_parallel_threshold) ?progress
+    ?(parallel_threshold = default_parallel_threshold) ?progress ?admit
     (model : Model.t) =
   let t0 = Obs.Clock.now_s () in
   (* Telemetry is per BFS level / batch, never per state: with spans
@@ -165,6 +166,16 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
   in
   let edge_count = ref 0 in
   let level_times = ref [] in
+  (* Frontier filter: a successor unknown to the intern table is only
+     admitted (interned, edge recorded) when [admit] accepts its
+     valuation.  With a sound filter — one accepting every truly
+     reachable state, e.g. {!Avp_analysis.Absint.admit} — the graph is
+     unchanged and [stats.pruned] stays 0; the counter existing is the
+     cross-validation hook.  Checked only on the deterministic merge
+     side, so the count is identical for any domain count.  The reset
+     state is always admitted. *)
+  let pruned = ref 0 in
+  let admits v = match admit with None -> true | Some f -> f v in
   (* Intern the reset state as id 0. *)
   let reset = Array.copy model.Model.reset in
   let reset_key = Bytes.create key_size in
@@ -223,17 +234,17 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
         for ci = 0 to num_choices - 1 do
           model.Model.next_into cur choices.(ci) nxt;
           pack_into nxt key;
-          let dst =
-            match index_find index key with
-            | Some id -> id
-            | None ->
+          match index_find index key with
+          | Some id -> record_edge id ci
+          | None ->
+            if admits nxt then begin
               let id = states.Dyn.len in
               if id >= max_states then raise (Too_many_states max_states);
               index_add index (Bytes.copy key) id;
               Dyn.push states (Array.copy nxt);
-              id
-          in
-          record_edge dst ci
+              record_edge id ci
+            end
+            else incr pruned
         done;
         Dyn.push adj (Array.of_list (List.rev !out))
       done;
@@ -299,16 +310,14 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
         Hashtbl.reset seen_dst;
         out := [];
         for ci = 0 to num_choices - 1 do
-          let dst =
-            let d = dst_ids.(base + ci) in
-            if d >= 0 then d
-            else begin
-              let v = new_vals.(base + ci) in
-              new_vals.(base + ci) <- [||];
-              intern_new v
-            end
-          in
-          record_edge dst ci
+          let d = dst_ids.(base + ci) in
+          if d >= 0 then record_edge d ci
+          else begin
+            let v = new_vals.(base + ci) in
+            new_vals.(base + ci) <- [||];
+            if admits v then record_edge (intern_new v) ci
+            else incr pruned
+          end
         done;
         Dyn.push adj (Array.of_list (List.rev !out))
       done;
@@ -358,6 +367,7 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
         heap_mb;
         domains = !used_domains;
         level_times = Array.of_list (List.rev !level_times);
+        pruned = !pruned;
       };
   }
 
@@ -395,7 +405,8 @@ let pp_stats ppf s =
     "states=%d bits/state=%d edges=%d time=%.2fs heap=%.1fMB domains=%d \
      levels=%d"
     s.num_states s.state_bits s.num_edges s.elapsed_s s.heap_mb s.domains
-    (Array.length s.level_times)
+    (Array.length s.level_times);
+  if s.pruned > 0 then Format.fprintf ppf " pruned=%d" s.pruned
 
 let pp_dot ppf t =
   Format.fprintf ppf "@[<v 2>digraph %s {@," t.model.Model.model_name;

@@ -28,6 +28,10 @@ type stats = {
   domains : int;  (** domains actually used (1 = sequential) *)
   level_times : (int * float) array;
       (** per BFS batch: (sources expanded, seconds) *)
+  pruned : int;
+      (** successor occurrences the [admit] filter rejected (0 without
+          a filter — and 0 with a sound one: that is the
+          cross-validation invariant) *)
 }
 
 type index
@@ -55,10 +59,21 @@ val enumerate :
   ?domains:int ->
   ?parallel_threshold:int ->
   ?progress:Avp_obs.Progress.t ->
+  ?admit:(int array -> bool) ->
   Model.t ->
   t
 (** [domains] defaults to [default_domains ()] and is clamped to 1
     when the model is not {!Model.t.parallel_safe}.
+
+    [admit] is a frontier filter: a successor valuation not already
+    interned is discarded (counted in [stats.pruned]) unless the
+    filter accepts it.  A {e sound} filter — one accepting every truly
+    reachable state, such as the abstract interpreter's proven state
+    invariants ([Avp_analysis.Absint.admit]) — never changes the
+    graph; [stats.pruned] staying 0 is the cross-validation check.
+    The filter runs on the deterministic merge side, so results and
+    counts are identical for any domain count.  The reset state is
+    always admitted.
 
     [parallel_threshold] (default 4096): even with [domains > 1],
     enumeration starts sequentially and only switches to the

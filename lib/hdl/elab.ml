@@ -48,6 +48,9 @@ type t = {
   directives : string list;
   top_inputs : bool array;  (* net id -> top-level input/inout port *)
   process_locs : Ast.loc array;  (* parallel to [processes] *)
+  write_sites : (uid * bool * Ast.loc) list array;
+      (* parallel to [processes]: (net, nonblocking?, assignment
+         position) for every static assignment site, in source order *)
 }
 
 exception Error of string
@@ -62,8 +65,9 @@ type builder = {
   mutable b_nets : enet list;  (* reverse order *)
   mutable b_count : int;
   b_by_name : (string, uid) Hashtbl.t;
-  mutable b_processes : (process * bool * Ast.loc) list;
-      (* with control flag and source position *)
+  mutable b_processes :
+    (process * bool * Ast.loc * (uid * bool * Ast.loc) list) list;
+      (* with control flag, source position and write sites *)
   mutable b_directives : string list;  (* reverse order *)
   mutable b_in_control : bool;
 }
@@ -77,8 +81,8 @@ let new_net b ~name ~width ~kind ~attrs ~loc =
   Hashtbl.add b.b_by_name name n.id;
   n
 
-let add_process b ~loc p =
-  b.b_processes <- (p, b.b_in_control, loc) :: b.b_processes
+let add_process b ~loc ?(sites = []) p =
+  b.b_processes <- (p, b.b_in_control, loc, sites) :: b.b_processes
 
 (* Per-instance scope: local net name -> (uid, declared lsb, width). *)
 type scope = {
@@ -172,6 +176,50 @@ let rec resolve_stmt scope (s : Ast.stmt) : estmt =
 (* Module instantiation                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Static assignment sites of an Ast statement: which nets the
+   process can write, blocking or nonblocking, and where each
+   assignment sits in the source.  [resolve_stmt] drops the per-stmt
+   positions; this keeps them for diagnostics (the scheduling-race
+   pass reports both colliding sites). *)
+let ast_lv_names (lv : Ast.lvalue) =
+  let rec go acc = function
+    | Ast.Lident n | Ast.Lindex (n, _) | Ast.Lrange (n, _, _) -> n :: acc
+    | Ast.Lconcat ls -> List.fold_left go acc ls
+  in
+  List.rev (go [] lv)
+
+let elv_write_nets (lv : elv) =
+  let rec go acc = function
+    | Lnet id | Lindex (id, _) | Lrange (id, _, _) -> id :: acc
+    | Lconcat ls -> List.fold_left go acc ls
+  in
+  List.rev (go [] lv)
+
+let stmt_sites scope (s : Ast.stmt) : (uid * bool * Ast.loc) list =
+  let rec go acc = function
+    | Ast.Block ss -> List.fold_left go acc ss
+    | Ast.Blocking (lv, _, loc) ->
+      List.fold_left
+        (fun acc n ->
+          let id, _, _ = scope_lookup scope n in
+          (id, false, loc) :: acc)
+        acc (ast_lv_names lv)
+    | Ast.Nonblocking (lv, _, loc) ->
+      List.fold_left
+        (fun acc n ->
+          let id, _, _ = scope_lookup scope n in
+          (id, true, loc) :: acc)
+        acc (ast_lv_names lv)
+    | Ast.If (_, t, e) ->
+      let acc = go acc t in
+      (match e with None -> acc | Some s -> go acc s)
+    | Ast.Case (_, items, dflt) ->
+      let acc = List.fold_left (fun acc (_, body) -> go acc body) acc items in
+      (match dflt with None -> acc | Some s -> go acc s)
+    | Ast.Nop -> acc
+  in
+  List.rev (go [] s)
+
 let decl_info (m : Ast.module_decl) =
   (* name -> (range, kind, attrs, loc); ports without a net decl
      default to wire with the port's range. *)
@@ -247,10 +295,18 @@ let rec instantiate b (design : Ast.design) (m : Ast.module_decl)
           :: b.b_directives
       | Ast.Initial _ -> ()
       | Ast.Assign (lv, e, loc) ->
-        add_process b ~loc
+        let sites =
+          List.map
+            (fun n ->
+              let id, _, _ = scope_lookup scope n in
+              (id, false, loc))
+            (ast_lv_names lv)
+        in
+        add_process b ~loc ~sites
           (Assign (resolve_lv scope lv, resolve_expr scope e))
       | Ast.Always (Ast.Comb, body, loc) ->
-        add_process b ~loc (Comb (resolve_stmt scope body))
+        add_process b ~loc ~sites:(stmt_sites scope body)
+          (Comb (resolve_stmt scope body))
       | Ast.Always (Ast.Edges edges, body, loc) ->
         let edges =
           List.map
@@ -259,7 +315,8 @@ let rec instantiate b (design : Ast.design) (m : Ast.module_decl)
               (edge, id))
             edges
         in
-        add_process b ~loc (Seq (edges, resolve_stmt scope body))
+        add_process b ~loc ~sites:(stmt_sites scope body)
+          (Seq (edges, resolve_stmt scope body))
       | Ast.Instance { i_module; i_name; i_conns; i_loc } ->
         elaborate_instance b design scope ~i_module ~i_name ~i_conns ~i_loc)
     m.Ast.m_items
@@ -328,7 +385,7 @@ and elaborate_instance b design scope ~i_module ~i_name ~i_conns ~i_loc =
       let cid = child_scope_entry port in
       match dir with
       | Ast.Input ->
-        add_process b ~loc:i_loc
+        add_process b ~loc:i_loc ~sites:[ (cid, false, i_loc) ]
           (Assign (Lnet cid, resolve_expr scope expr))
       | Ast.Output ->
         let lv =
@@ -343,7 +400,10 @@ and elaborate_instance b design scope ~i_module ~i_name ~i_conns ~i_loc =
           | _ ->
             fail "output port %s of %s must connect to an lvalue" port i_name
         in
-        add_process b ~loc:i_loc (Assign (lv, Net cid))
+        let sites =
+          List.map (fun id -> (id, false, i_loc)) (elv_write_nets lv)
+        in
+        add_process b ~loc:i_loc ~sites (Assign (lv, Net cid))
       | Ast.Inout ->
         fail "inout port %s of %s must connect to a plain identifier" port
           i_name)
@@ -384,13 +444,14 @@ let elaborate ?top (design : Ast.design) =
     top_module.Ast.m_items;
   {
     nets = Array.of_list (List.rev b.b_nets);
-    processes = Array.of_list (List.map (fun (p, _, _) -> p) procs);
-    control = Array.of_list (List.map (fun (_, c, _) -> c) procs);
+    processes = Array.of_list (List.map (fun (p, _, _, _) -> p) procs);
+    control = Array.of_list (List.map (fun (_, c, _, _) -> c) procs);
     by_name = b.b_by_name;
     top = top_module.Ast.m_name;
     directives = List.rev b.b_directives;
     top_inputs;
-    process_locs = Array.of_list (List.map (fun (_, _, l) -> l) procs);
+    process_locs = Array.of_list (List.map (fun (_, _, l, _) -> l) procs);
+    write_sites = Array.of_list (List.map (fun (_, _, _, s) -> s) procs);
   }
 
 let net t name =

@@ -62,6 +62,11 @@ type t = {
       (** parallel to [processes]: source position of the item each
           process was elaborated from (synthetic port-connection
           assignments carry the instance's position) *)
+  write_sites : (uid * bool * Ast.loc) list array;
+      (** parallel to [processes]: every static assignment site as
+          (written net, nonblocking?, assignment position), in source
+          order — the per-statement spans [resolve_stmt] drops, kept
+          for diagnostics such as the scheduling-race pass *)
 }
 
 exception Error of string

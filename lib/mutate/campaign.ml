@@ -4,6 +4,7 @@ open Avp_enum
 type classification =
   | Stillborn of string
   | Killed_static of string
+  | Killed_absint of string
   | Killed of { by_tour : bool; by_random : bool; detail : string }
   | Equivalent
   | Survived of string
@@ -15,6 +16,7 @@ type family_score = {
   total : int;
   stillborn : int;
   killed_static : int;
+  killed_absint : int;
   equivalent : int;
   killed_tour : int;
   killed_random : int;
@@ -148,14 +150,17 @@ let classify_vetted ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
   in
   verdict ~max_equiv_states ~graph ~dut tour random
 
-let classify ~top ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
-    ~tour_out ~rand_out (m : Gen.mutant) =
+let classify ~top ~prune ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs
+    ~outs ~tour_out ~rand_out (m : Gen.mutant) =
   match Filter.vet ?top m.Gen.design with
   | `Stillborn msg -> Stillborn msg
   | `Static msg -> Killed_static msg
-  | `Ok dut ->
-    classify_vetted ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
-      ~tour_out ~rand_out dut
+  | `Ok dut -> (
+    match prune dut with
+    | Some why -> Killed_absint why
+    | None ->
+      classify_vetted ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
+        ~tour_out ~rand_out dut)
 
 (* ---------------------------------------------------------------- *)
 (* Bit-sliced schemata passes                                       *)
@@ -333,6 +338,18 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
   let outs = output_ports design ~top:tr.Translate.elab.Avp_hdl.Elab.top in
   let tour_out = Array.map (Avp_vectors.Replay.record tr ~nets:outs) tvecs in
   let rand_out = Array.map (Avp_vectors.Replay.record tr ~nets:outs) rvecs in
+  (* Pristine invariants, proven once; each vetted mutant is re-analysed
+     and pruned when its invariants provably diverge on a checked net.
+     The prune runs at vet time on BOTH engines, so scalar and sliced
+     reports stay byte-identical. *)
+  let checked_nets =
+    Array.to_list outs
+    @ Array.to_list (Avp_vectors.Replay.state_nets tr)
+  in
+  let pristine_inv = Avp_analysis.Absint.analyze tr.Translate.elab in
+  let prune dut =
+    Filter.prune ~checked:checked_nets ~pristine:pristine_inv dut
+  in
   let cycles vecs =
     Array.fold_left (fun acc v -> acc + Array.length v) 0 vecs
   in
@@ -353,6 +370,7 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
                 (match cls with
                  | Stillborn _ -> "stillborn"
                  | Killed_static _ -> "killed-static"
+                 | Killed_absint _ -> "killed-absint"
                  | Killed _ -> "killed"
                  | Equivalent -> "equivalent"
                  | Survived _ -> "survived") );
@@ -364,8 +382,8 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
   let classify_scalar i =
     let t0 = Obs.Clock.now_s () in
     let cls =
-      classify ~top ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs ~outs
-        ~tour_out ~rand_out
+      classify ~top ~prune ~max_equiv_states ~tr ~graph ~tours ~tvecs ~rvecs
+        ~outs ~tour_out ~rand_out
         mutants.(i)
     in
     finish ~t0 i cls
@@ -407,7 +425,10 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
           match Filter.vet ?top mutants.(i).Gen.design with
           | `Stillborn msg -> finish ~t0 i (Stillborn msg)
           | `Static msg -> finish ~t0 i (Killed_static msg)
-          | `Ok dut -> cands := (i, dut) :: !cands
+          | `Ok dut -> (
+            match prune dut with
+            | Some why -> finish ~t0 i (Killed_absint why)
+            | None -> cands := (i, dut) :: !cands)
         done;
         let cands = Array.of_list (List.rev !cands) in
         let nc = Array.length cands in
@@ -548,6 +569,9 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
     let killed_static =
       count (function Killed_static _ -> true | _ -> false)
     in
+    let killed_absint =
+      count (function Killed_absint _ -> true | _ -> false)
+    in
     let equivalent = count (function Equivalent -> true | _ -> false) in
     let killed_tour =
       count (function Killed { by_tour; _ } -> by_tour | _ -> false)
@@ -561,11 +585,13 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
       total;
       stillborn;
       killed_static;
+      killed_absint;
       equivalent;
       killed_tour;
       killed_random;
       survived;
-      candidates = total - stillborn - killed_static - equivalent;
+      candidates =
+        total - stillborn - killed_static - killed_absint - equivalent;
     }
   in
   let families =
@@ -602,12 +628,13 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
 let class_name = function
   | Stillborn _ -> "stillborn"
   | Killed_static _ -> "killed-static"
+  | Killed_absint _ -> "killed-absint"
   | Killed _ -> "killed"
   | Equivalent -> "equivalent"
   | Survived _ -> "survived"
 
 let class_note = function
-  | Stillborn m | Killed_static m | Survived m -> m
+  | Stillborn m | Killed_static m | Killed_absint m | Survived m -> m
   | Killed { detail; _ } -> detail
   | Equivalent -> ""
 
@@ -628,6 +655,7 @@ let to_json report =
   p "  \"mutants\": %d,\n" report.total;
   p "  \"stillborn\": %d,\n" (sum (fun s -> s.stillborn));
   p "  \"killed_static\": %d,\n" (sum (fun s -> s.killed_static));
+  p "  \"killed_absint\": %d,\n" (sum (fun s -> s.killed_absint));
   p "  \"equivalent\": %d,\n" (sum (fun s -> s.equivalent));
   p "  \"candidates\": %d,\n" report.candidates;
   p "  \"tour\": {\"killed\": %d, \"rate\": %.4f, \"cycles\": %d},\n"
@@ -639,10 +667,12 @@ let to_json report =
     (fun i s ->
       p
         "    {\"family\": \"%s\", \"total\": %d, \"stillborn\": %d, \
-         \"killed_static\": %d, \"equivalent\": %d, \"killed_tour\": %d, \
-         \"killed_random\": %d, \"survived\": %d, \"candidates\": %d}%s\n"
+         \"killed_static\": %d, \"killed_absint\": %d, \"equivalent\": %d, \
+         \"killed_tour\": %d, \"killed_random\": %d, \"survived\": %d, \
+         \"candidates\": %d}%s\n"
         (Op.family_name s.family) s.total s.stillborn s.killed_static
-        s.equivalent s.killed_tour s.killed_random s.survived s.candidates
+        s.killed_absint s.equivalent s.killed_tour s.killed_random s.survived
+        s.candidates
         (if i = List.length report.families - 1 then "" else ","))
     report.families;
   p "  ],\n";
@@ -708,7 +738,7 @@ let report_section (report : report) : Avp_obs.Report.mutation_section =
             fam_killed_random = s.killed_random;
             fam_equivalent = s.equivalent;
             fam_survived = s.survived;
-            fam_rejected = s.stillborn + s.killed_static;
+            fam_rejected = s.stillborn + s.killed_static + s.killed_absint;
           })
         report.families;
   }
@@ -726,8 +756,15 @@ let pp_report ppf report =
         (Op.family_name s.family)
         s.total s.candidates s.killed_tour s.killed_random s.equivalent
         s.survived
-        (s.stillborn + s.killed_static))
+        (s.stillborn + s.killed_static + s.killed_absint))
     report.families;
+  (let pruned =
+     List.fold_left (fun acc s -> acc + s.killed_absint) 0 report.families
+   in
+   if pruned > 0 then
+     Format.fprintf ppf
+       "  absint pruned %d mutant%s without simulating a cycle@." pruned
+       (if pruned = 1 then "" else "s"));
   Format.fprintf ppf
     "  tour kill-rate %.1f%% (%d/%d, %d cycles) | random kill-rate %.1f%% \
      (%d/%d, %d cycles)@."

@@ -26,6 +26,11 @@
 type classification =
   | Stillborn of string  (** does not elaborate *)
   | Killed_static of string  (** rejected by the static analyser *)
+  | Killed_absint of string
+      (** proven divergent by abstract interpretation ({!Filter.prune}):
+          a checked net's post-reset invariants are disjoint, so every
+          replay observation differs — killed with zero simulated
+          cycles *)
   | Killed of { by_tour : bool; by_random : bool; detail : string }
   | Equivalent  (** state graph identical to the pristine design *)
   | Survived of string  (** escaped both vector sets; why not equivalent *)
@@ -37,11 +42,13 @@ type family_score = {
   total : int;
   stillborn : int;
   killed_static : int;
+  killed_absint : int;
   equivalent : int;
   killed_tour : int;
   killed_random : int;
   survived : int;
-  candidates : int;  (** denominator: total − stillborn − static − equivalent *)
+  candidates : int;
+      (** denominator: total − stillborn − static − absint − equivalent *)
 }
 
 type report = {

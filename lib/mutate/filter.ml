@@ -14,6 +14,19 @@ let vet ?top (design : Avp_hdl.Ast.design) =
             | Some n -> ": " ^ n
             | None -> "")))
 
+(* Abstract-interpretation prune: when the mutant's proven post-reset
+   invariants are disjoint from the pristine design's on a checked
+   net, every replay observation differs — the mutant dies without a
+   single simulated cycle.  Purely an over-approximation comparison,
+   so a [None] says nothing; a [Some] is a proof. *)
+let prune ~checked ~(pristine : Absint.invariants) (elab : Avp_hdl.Elab.t) =
+  match Absint.analyze elab with
+  | exception _ -> None
+  | mutant -> (
+    match Absint.divergence ~nets:checked pristine mutant with
+    | Some (net, why) -> Some (Printf.sprintf "%s: %s" net why)
+    | None -> None)
+
 let equivalent ?(max_states = 10_000) ~(pristine : Avp_enum.State_graph.t)
     (elab : Avp_hdl.Elab.t) =
   let n = Avp_enum.State_graph.num_states pristine in

@@ -23,6 +23,18 @@ val vet :
 (** Elaborate the mutant and run the error-severity static passes.
     [`Static] carries the first error finding (rule and net). *)
 
+val prune :
+  checked:string list ->
+  pristine:Avp_analysis.Absint.invariants ->
+  Avp_hdl.Elab.t ->
+  string option
+(** [Some "net: why"] when abstract interpretation proves the
+    mutant's post-reset invariants disjoint from the pristine
+    design's on one of the [checked] nets (a bit proven to differ,
+    or non-overlapping value ranges): every replay observation
+    differs, so the mutant is dead without simulating a cycle.
+    [None] proves nothing either way. *)
+
 val equivalent :
   ?max_states:int ->
   pristine:Avp_enum.State_graph.t ->

@@ -21,6 +21,7 @@ let () =
       ("harness", Test_harness.suite);
       ("ext", Test_ext.suite);
       ("analysis", Test_analysis.suite);
+      ("absint", Test_absint.suite);
       ("pp2", Test_pp2.suite);
       ("obs", Test_obs.suite);
     ]
