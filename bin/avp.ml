@@ -455,8 +455,282 @@ let mutate_cmd =
       $ json_arg $ domains_arg $ limit_arg $ gate_arg $ engine_arg
       $ trace_arg $ metrics_arg $ report_arg)
 
+let fuzz_cmd =
+  let module J = Avp_obs.Json in
+  let module Loop = Avp_fuzz.Loop in
+  let module Compare = Avp_fuzz.Compare in
+  let run file top seed budget batch engine domains corpus_out replay_in
+      mutants json gate trace metrics report_dir =
+    with_obs ~trace ~metrics @@ fun () ->
+    let src =
+      if file = "pp" then Avp_pp.Control_hdl.source else read_file file
+    in
+    let design = Parser.parse src in
+    let tr = Translate.translate (Elab.elaborate ?top design) in
+    let graph = State_graph.enumerate ?domains tr.Translate.model in
+    let domains =
+      match domains with
+      | Some d -> d
+      | None -> State_graph.default_domains ()
+    in
+    let config =
+      {
+        Loop.default_config with
+        Loop.seed;
+        budget;
+        engine;
+        domains;
+        batch = Option.value ~default:Loop.default_config.Loop.batch batch;
+      }
+    in
+    let outcome =
+      match replay_in with
+      | None ->
+        let progress = make_progress ~json ~total:budget "fuzz" in
+        let r = Loop.run ~progress ~config tr graph in
+        Avp_obs.Progress.finish progress;
+        Ok r
+      | Some path -> (
+        match Avp_fuzz.Corpus.load ~file:path with
+        | Error e -> Error e
+        | Ok c ->
+          let progress =
+            make_progress ~json ~total:(Array.length c.Avp_fuzz.Corpus.entries)
+              "fuzz-replay"
+          in
+          let r = Loop.replay ~progress ~config c tr graph in
+          Avp_obs.Progress.finish progress;
+          r)
+    in
+    match outcome with
+    | Error msg ->
+      Format.eprintf "avp fuzz: %s@." msg;
+      2
+    | Ok result ->
+      Option.iter
+        (fun path ->
+          Avp_fuzz.Corpus.save (Loop.corpus result tr) ~file:path;
+          Format.eprintf "corpus: wrote %s@." path)
+        corpus_out;
+      (* The generator comparison runs only for a growing run — a
+         replay is the byte-identity check, kept cheap. *)
+      let cmp =
+        if replay_in <> None then None
+        else begin
+          let tours = Tour_gen.generate graph in
+          let cprogress = make_progress ~json "compare" in
+          let c =
+            Compare.run ~seed ?mutant_budget:mutants ~domains
+              ~progress:cprogress ~design ~tr ~graph ~tours ~fuzz:result ()
+          in
+          Avp_obs.Progress.finish cprogress;
+          Some c
+        end
+      in
+      let cov = Avp_obs.Coverage.summary result.Loop.coverage in
+      if json then begin
+        let kept_json =
+          Array.to_list
+            (Array.map
+               (fun (k : Loop.kept) ->
+                 J.Obj
+                   [
+                     ("round", J.Int k.Loop.round);
+                     ("length", J.Int (Array.length k.Loop.entry));
+                     ( "gain",
+                       J.Obj
+                         [
+                           ("states", J.Int k.Loop.gain.Avp_obs.Coverage.c_states);
+                           ("arcs", J.Int k.Loop.gain.Avp_obs.Coverage.c_arcs);
+                           ("pairs", J.Int k.Loop.gain.Avp_obs.Coverage.c_pairs);
+                         ] );
+                   ])
+               result.Loop.kept)
+        in
+        let fields =
+          [
+            ("design", J.Str result.Loop.design);
+            ("mode", J.Str (if replay_in = None then "run" else "replay"));
+            ("seed", J.Int seed);
+            ("budget", J.Int config.Loop.budget);
+            ("batch", J.Int config.Loop.batch);
+            ("rounds", J.Int result.Loop.rounds);
+            ("executed", J.Int result.Loop.executed);
+            ("corpus", J.Int (Array.length result.Loop.kept));
+            ("explore_cycles", J.Int result.Loop.explore_cycles);
+            ( "coverage",
+              J.Obj
+                [
+                  ("states", J.Int cov.Avp_obs.Coverage.states_seen);
+                  ("states_total", J.Int cov.Avp_obs.Coverage.states_total);
+                  ("arcs", J.Int cov.Avp_obs.Coverage.arcs_seen);
+                  ("arcs_total", J.Int cov.Avp_obs.Coverage.arcs_total);
+                  ("pairs", J.Int (Avp_obs.Coverage.pairs_seen result.Loop.coverage));
+                  ("unmapped", J.Int cov.Avp_obs.Coverage.unmapped);
+                ] );
+            ("kept", J.List kept_json);
+          ]
+          @
+          match cmp with
+          | Some c -> [ ("compare", Compare.json_value c) ]
+          | None -> []
+        in
+        print_string (J.to_string_pretty (J.Obj fields));
+        print_newline ()
+      end
+      else begin
+        Format.printf
+          "fuzz: %s %d rounds, %d/%d candidates kept, %d explore cycles@."
+          result.Loop.design result.Loop.rounds
+          (Array.length result.Loop.kept)
+          result.Loop.executed result.Loop.explore_cycles;
+        Format.printf "coverage: %a, %d (state, input-class) pairs@."
+          Avp_obs.Coverage.pp cov
+          (Avp_obs.Coverage.pairs_seen result.Loop.coverage);
+        Option.iter (Format.printf "%a" Compare.pp) cmp
+      end;
+      Option.iter
+        (fun dir ->
+          let r =
+            Avp_obs.Report.empty ~title:"avp fuzz report"
+              ~design:result.Loop.design
+          in
+          let r =
+            {
+              r with
+              Avp_obs.Report.enum = Some (enum_section graph.State_graph.stats);
+              coverage = Some cov;
+              fuzz = Option.map (Compare.report_section result) cmp;
+            }
+          in
+          let r =
+            Avp_obs.Report.add_note r
+              (Printf.sprintf "seed %d, budget %d, batch %d" seed
+                 config.Loop.budget config.Loop.batch)
+          in
+          write_report r ~dir)
+        report_dir;
+      if not gate then 0
+      else
+        match cmp with
+        | None ->
+          Format.eprintf
+            "avp fuzz: --gate needs the generator comparison (not \
+             available under --replay)@.";
+          2
+        | Some c -> (
+          match
+            (Compare.find_method c "fuzz", Compare.find_method c "random")
+          with
+          | Some f, Some r ->
+            if f.Compare.m_arcs < r.Compare.m_arcs then begin
+              Format.eprintf
+                "avp fuzz: GATE FAILED: fuzz arc coverage %d below the \
+                 random baseline %d@."
+                f.Compare.m_arcs r.Compare.m_arcs;
+              1
+            end
+            else if f.Compare.m_killed < r.Compare.m_killed then begin
+              Format.eprintf
+                "avp fuzz: GATE FAILED: fuzz kills %d below the random \
+                 baseline %d@."
+                f.Compare.m_killed r.Compare.m_killed;
+              1
+            end
+            else 0
+          | _ -> assert false)
+  in
+  let file_arg =
+    Arg.(
+      value & pos 0 string "pp"
+      & info [] ~docv:"FILE"
+          ~doc:"Annotated Verilog source file, or 'pp' (default) for the \
+                built-in Protocol Processor control module.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"PRNG seed of the fuzzing loop; a fixed seed makes the run \
+                byte-reproducible on any engine and domain count.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Candidate executions, initial random population included.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Candidates per round (default 31; a sliced-engine round \
+                evaluates a round's candidates word-parallel).")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sliced", `Sliced); ("scalar", `Scalar) ]) `Sliced
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Candidate evaluation backend: $(b,sliced) (default) runs up \
+                to 62 candidates word-parallel through one bit-sliced \
+                kernel; $(b,scalar) one at a time.  The corpus is \
+                byte-identical either way.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"Persist the kept corpus as a JSON seed file.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run a persisted corpus byte-identically instead of \
+                fuzzing: every entry must re-earn its keep, and the \
+                resulting coverage must equal the growing run's.")
+  in
+  let mutants_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mutants" ] ~docv:"N"
+          ~doc:"Sample at most $(docv) mutants for the kill comparison \
+                (seeded, deterministic; default: all).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the result as JSON.  Contains no timings, engine or \
+                domain count, so output is byte-identical across runs, \
+                engines and $(b,-j) values.")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:"Exit 1 unless the fuzz corpus reaches at least the \
+                size-matched random baseline's arc coverage and kill \
+                count.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Coverage-guided mutational fuzzing of the control design: \
+             grow a corpus under arc/(state, input-class) feedback and \
+             score it against transition tours and a size-matched random \
+             baseline on mutant kills.")
+    Term.(
+      const run $ file_arg $ top_arg $ seed_arg $ budget_arg $ batch_arg
+      $ engine_arg $ domains_arg $ corpus_arg $ replay_arg $ mutants_arg
+      $ json_arg $ gate_arg $ trace_arg $ metrics_arg $ report_arg)
+
 let validate_cmd =
-  let run file bug limit domains seed trace metrics vcd report_dir =
+  let run file bug limit domains seed fuzz trace metrics vcd report_dir =
     match file with
     | Some f when f <> "pp" ->
       Format.eprintf
@@ -479,10 +753,32 @@ let validate_cmd =
           ?instr_limit:(Some (Option.value ~default:500 limit))
           ~instructions_of_edge:weigh graph
       in
+      let fuzz_stimuli =
+        Option.map
+          (fun budget ->
+            let fprogress = make_progress ~total:budget "fuzz" in
+            let r =
+              Avp_fuzz.Isa_fuzz.run ~progress:fprogress
+                ~config:
+                  {
+                    Avp_fuzz.Isa_fuzz.default_config with
+                    Avp_fuzz.Isa_fuzz.budget;
+                    seed;
+                  }
+                cfg graph
+            in
+            Avp_obs.Progress.finish fprogress;
+            Format.printf "fuzz: %d/%d candidates kept, %a@."
+              (Array.length r.Avp_fuzz.Isa_fuzz.kept)
+              r.Avp_fuzz.Isa_fuzz.executed Avp_harness.Coverage.pp
+              r.Avp_fuzz.Isa_fuzz.coverage;
+            Avp_fuzz.Isa_fuzz.stimuli r)
+          fuzz
+      in
       let progress = make_progress "validate" in
       let rows =
-        Avp_harness.Campaign.table_2_1 ~seed ?domains ~progress ~cfg ~graph
-          ~tours ()
+        Avp_harness.Campaign.table_2_1 ~seed ?domains ~progress
+          ?fuzz:fuzz_stimuli ~cfg ~graph ~tours ()
       in
       Avp_obs.Progress.finish progress;
       let rows =
@@ -545,7 +841,9 @@ let validate_cmd =
           let bug_table =
             {
               Avp_obs.Report.table_title = "Table 2.1 — bug detection";
-              header = [ "bug"; "generated"; "random"; "directed" ];
+              header =
+                [ "bug"; "generated"; "random"; "directed" ]
+                @ (if fuzz_stimuli = None then [] else [ "fuzz" ]);
               rows =
                 List.map
                   (fun (r : Avp_harness.Campaign.bug_row) ->
@@ -561,7 +859,11 @@ let validate_cmd =
                       cell r.Avp_harness.Campaign.generated;
                       cell r.Avp_harness.Campaign.random;
                       cell r.Avp_harness.Campaign.directed;
-                    ])
+                    ]
+                    @
+                    match r.Avp_harness.Campaign.fuzz with
+                    | Some f -> [ cell f ]
+                    | None -> [])
                   rows;
             }
           in
@@ -613,12 +915,21 @@ let validate_cmd =
       & opt (some int) None
       & info [ "bug" ] ~docv:"N" ~doc:"Restrict to one Table 2.1 bug (1-6).")
   in
+  let fuzz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"BUDGET"
+          ~doc:"Also score a coverage-guided instruction-level fuzz corpus \
+                grown with $(docv) candidate executions as a fourth \
+                method.")
+  in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Run the Protocol Processor validation campaign (Table 2.1).")
     Term.(
       const run $ file_arg $ bug_arg $ limit_arg $ domains_arg $ seed_arg
-      $ trace_arg $ metrics_arg $ vcd_arg $ report_arg)
+      $ fuzz_arg $ trace_arg $ metrics_arg $ vcd_arg $ report_arg)
 
 let lint_cmd =
   let open Avp_analysis in
@@ -941,7 +1252,8 @@ let main =
     (Cmd.info "avp" ~version:"1.0.0" ~doc)
     [
       translate_cmd; enumerate_cmd; tour_cmd; vectors_cmd; replay_cmd;
-      lint_cmd; invariants_cmd; validate_cmd; mutate_cmd; errata_cmd;
+      lint_cmd; invariants_cmd; validate_cmd; mutate_cmd; fuzz_cmd;
+      errata_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,75 @@
+module Json = Avp_obs.Json
+
+type entry = int array
+
+type t = {
+  design : string;
+  seed : int;
+  num_choices : int;
+  entries : entry array;
+}
+
+let well_formed ~num_choices ~max_len (e : entry) =
+  let n = Array.length e in
+  n >= 1 && n <= max_len
+  && Array.for_all (fun c -> c >= 0 && c < num_choices) e
+
+let to_json t =
+  Json.Obj
+    [
+      ("design", Json.Str t.design);
+      ("seed", Json.Int t.seed);
+      ("num_choices", Json.Int t.num_choices);
+      ( "entries",
+        Json.List
+          (Array.to_list t.entries
+          |> List.map (fun e ->
+                 Json.List (Array.to_list e |> List.map (fun c -> Json.Int c))))
+      );
+    ]
+
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "corpus: missing or bad field %S" name)
+  in
+  let* design = field "design" Json.to_str in
+  let* seed = field "seed" Json.to_int in
+  let* num_choices = field "num_choices" Json.to_int in
+  let* raw = field "entries" Json.to_list in
+  let* entries =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        match Json.to_list e with
+        | None -> Error "corpus: entry is not a list"
+        | Some cs ->
+          let* cs =
+            List.fold_left
+              (fun acc c ->
+                let* acc = acc in
+                match Json.to_int c with
+                | Some i -> Ok (i :: acc)
+                | None -> Error "corpus: entry element is not an int")
+              (Ok []) cs
+          in
+          Ok (Array.of_list (List.rev cs) :: acc))
+      (Ok []) raw
+  in
+  Ok { design; seed; num_choices; entries = Array.of_list (List.rev entries) }
+
+let save t ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string_pretty (to_json t)))
+
+let load ~file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Json.parse contents with
+    | Error msg -> Error ("corpus: " ^ msg)
+    | Ok j -> of_json j)

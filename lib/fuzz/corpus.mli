@@ -1,0 +1,29 @@
+(** The fuzzing corpus: the distilled seed set the coverage-guided
+    loop keeps.
+
+    An entry is a sequence of flat choice indices over the translated
+    model's choice space — the raw input-net vectors of an HDL
+    control design, one input class per cycle.  The representation is
+    engine-independent and replayable: walking the model from reset
+    under the recorded choices reconstructs the exact trace, vectors
+    and coverage of the run that kept the entry ({!Loop.replay}). *)
+
+type entry = int array
+(** Flat choice indices, each in [0, num_choices); length >= 1. *)
+
+type t = {
+  design : string;  (** top module the corpus was grown on *)
+  seed : int;  (** PRNG seed of the growing run *)
+  num_choices : int;  (** choice-space size, for validation on load *)
+  entries : entry array;  (** in keep order *)
+}
+
+val well_formed : num_choices:int -> max_len:int -> entry -> bool
+
+val to_json : t -> Avp_obs.Json.t
+val of_json : Avp_obs.Json.t -> (t, string) result
+
+val save : t -> file:string -> unit
+(** Pretty-printed deterministic JSON. *)
+
+val load : file:string -> (t, string) result

@@ -11,6 +11,8 @@ type bug_row = {
   generated : method_result;
   random : method_result;
   directed : method_result;
+  fuzz : method_result option;
+      (** coverage-guided fuzz corpus, when one was supplied *)
 }
 
 let run_stimulus ?config ?(max_cycles = 20_000) (stim : Drive.stimulus) =
@@ -84,8 +86,8 @@ let detect_with ?max_cycles ?(domains = 1) ?progress config stimuli =
     scan 0 0 0
   end
 
-let table_2_1 ?(seed = 1) ?max_cycles ?domains ?progress ~cfg ~graph ~tours
-    () =
+let table_2_1 ?(seed = 1) ?max_cycles ?domains ?progress ?fuzz ~cfg ~graph
+    ~tours () =
   let generated_stimuli = Drive.of_traces ~seed cfg graph tours in
   let generated_budget =
     List.fold_left
@@ -115,17 +117,26 @@ let table_2_1 ?(seed = 1) ?max_cycles ?domains ?progress ~cfg ~graph ~tours
           directed =
             detect_with ?max_cycles ?domains ?progress config
               directed_stimuli;
+          fuzz =
+            Option.map
+              (fun stimuli ->
+                detect_with ?max_cycles ?domains ?progress config stimuli)
+              fuzz;
         }
       in
       if Avp_obs.Obs.enabled () then
         Avp_obs.Obs.instant ~cat:"validate" "validate.bug"
           ~args:
-            [
-              ("bug", Avp_obs.Obs.Str (Format.asprintf "%a" Bugs.pp_id bug));
-              ("generated", Avp_obs.Obs.Bool row.generated.detected);
-              ("random", Avp_obs.Obs.Bool row.random.detected);
-              ("directed", Avp_obs.Obs.Bool row.directed.detected);
-            ];
+            ([
+               ("bug", Avp_obs.Obs.Str (Format.asprintf "%a" Bugs.pp_id bug));
+               ("generated", Avp_obs.Obs.Bool row.generated.detected);
+               ("random", Avp_obs.Obs.Bool row.random.detected);
+               ("directed", Avp_obs.Obs.Bool row.directed.detected);
+             ]
+            @
+            match row.fuzz with
+            | Some f -> [ ("fuzz", Avp_obs.Obs.Bool f.detected) ]
+            | None -> []);
       row)
     Bugs.all_ids
 
@@ -138,7 +149,11 @@ let pp_result ppf r =
 let pp_rows ppf rows =
   List.iter
     (fun row ->
-      Format.fprintf ppf "%a: generated %a | random %a | directed %a@."
+      Format.fprintf ppf "%a: generated %a | random %a | directed %a"
         Bugs.pp_id row.bug pp_result row.generated pp_result row.random
-        pp_result row.directed)
+        pp_result row.directed;
+      (match row.fuzz with
+       | Some f -> Format.fprintf ppf " | fuzz %a" pp_result f
+       | None -> ());
+      Format.fprintf ppf "@.")
     rows

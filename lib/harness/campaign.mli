@@ -17,6 +17,8 @@ type bug_row = {
   generated : method_result;
   random : method_result;
   directed : method_result;
+  fuzz : method_result option;
+      (** coverage-guided fuzz corpus, when one was supplied *)
 }
 
 val run_stimulus :
@@ -44,6 +46,7 @@ val table_2_1 :
   ?max_cycles:int ->
   ?domains:int ->
   ?progress:Avp_obs.Progress.t ->
+  ?fuzz:Drive.stimulus list ->
   cfg:Avp_pp.Control_model.cfg ->
   graph:Avp_enum.State_graph.t ->
   tours:Avp_tour.Tour_gen.t ->
@@ -51,6 +54,9 @@ val table_2_1 :
   bug_row list
 (** Generated vectors come from the tours; the random method gets the
     same instruction budget as the generated vectors consumed; the
-    directed method runs the fixed hand-written suite. *)
+    directed method runs the fixed hand-written suite.  [?fuzz]
+    supplies a fourth stimulus set — a coverage-guided fuzz corpus
+    (e.g. [Avp_fuzz.Isa_fuzz.stimuli]) — scored the same way and
+    reported per row in [fuzz]. *)
 
 val pp_rows : Format.formatter -> bug_row list -> unit

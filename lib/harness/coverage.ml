@@ -62,4 +62,11 @@ let run ?config ?(max_cycles = 20_000) acc (stim : Drive.stimulus) =
   in
   loop ()
 
+let counts acc = Avp_obs.Coverage.counts acc.counter
+
+let run_delta ?config ?max_cycles acc stim =
+  let before = counts acc in
+  run ?config ?max_cycles acc stim;
+  Avp_obs.Coverage.delta ~before ~after:(counts acc)
+
 let result acc = Avp_obs.Coverage.summary acc.counter

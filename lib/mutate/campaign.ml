@@ -680,11 +680,19 @@ let to_json report =
   Array.iteri
     (fun i r ->
       let d = r.mutant.Gen.descr in
+      let missed_by ~by_tour ~by_random =
+        (if by_tour then [] else [ "\"tour\"" ])
+        @ (if by_random then [] else [ "\"random\"" ])
+        |> String.concat ", "
+        |> Printf.sprintf ", \"missed_by\": [%s]"
+      in
       let extra =
         match r.cls with
         | Killed { by_tour; by_random; _ } ->
-          Printf.sprintf ", \"by_tour\": %b, \"by_random\": %b" by_tour
+          Printf.sprintf ", \"by_tour\": %b, \"by_random\": %b%s" by_tour
             by_random
+            (missed_by ~by_tour ~by_random)
+        | Survived _ -> missed_by ~by_tour:false ~by_random:false
         | _ -> ""
       in
       p

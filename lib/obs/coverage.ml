@@ -1,11 +1,20 @@
 (* Generic state/arc coverage counting over an enumerated graph.
 
    The single implementation behind every coverage number the repo
-   reports: the RTL arc-coverage harness, the unified reports and the
-   CLI all mark observations here and read one summary back.  The
-   graph is declared up front as (src, dst) pairs; marking an arc
-   that is not declared is counted as unmapped-adjacent but never
-   inflates coverage. *)
+   reports: the RTL arc-coverage harness, the unified reports, the
+   fuzzing loop and the CLI all mark observations here and read one
+   summary back.  The graph is declared up front as (src, dst) pairs;
+   marking an arc that is not declared is counted as unmapped-adjacent
+   but never inflates coverage.
+
+   Beyond the original seen-sets, the structure keeps O(1) running
+   counts so a caller can snapshot {!counts} before and after a batch
+   of marks and read the increment back without rescanning — the
+   incremental feedback signal of the coverage-guided fuzzer.  The
+   pair space (state, input-class) is finer than (src, dst) arcs:
+   under a first-condition-only graph two different input classes can
+   label the same arc, and the fuzzer wants credit for exercising
+   both. *)
 
 type summary = {
   states_seen : int;
@@ -16,10 +25,19 @@ type summary = {
       (* observations that did not project onto the declared space *)
 }
 
+type counts = {
+  c_states : int;
+  c_arcs : int;
+  c_pairs : int;
+  c_unmapped : int;
+}
+
 type t = {
   seen_states : bool array;
+  mutable states_count : int;
   declared : (int * int, unit) Hashtbl.t;
   seen_arcs : (int * int, unit) Hashtbl.t;
+  seen_pairs : (int * int, unit) Hashtbl.t;
   mutable unmapped : int;
 }
 
@@ -28,8 +46,10 @@ let create ~num_states ~arcs =
   Array.iter (fun (src, dst) -> Hashtbl.replace declared (src, dst) ()) arcs;
   {
     seen_states = Array.make (max 0 num_states) false;
+    states_count = 0;
     declared;
     seen_arcs = Hashtbl.create 1024;
+    seen_pairs = Hashtbl.create 1024;
     unmapped = 0;
   }
 
@@ -42,24 +62,57 @@ let of_graph (adj : (int * int) array array) =
   create ~num_states:(Array.length adj) ~arcs:(Array.of_list !arcs)
 
 let mark_state t id =
-  if id >= 0 && id < Array.length t.seen_states then
-    t.seen_states.(id) <- true
+  if id >= 0 && id < Array.length t.seen_states && not t.seen_states.(id)
+  then begin
+    t.seen_states.(id) <- true;
+    t.states_count <- t.states_count + 1
+  end
 
 let mark_arc t ~src ~dst =
   if Hashtbl.mem t.declared (src, dst) then
     Hashtbl.replace t.seen_arcs (src, dst) ()
 
+let mark_pair t ~state ~cls =
+  if state >= 0 && state < Array.length t.seen_states then
+    Hashtbl.replace t.seen_pairs (state, cls) ()
+
 let mark_unmapped t = t.unmapped <- t.unmapped + 1
+
+let seen_state t id =
+  id >= 0 && id < Array.length t.seen_states && t.seen_states.(id)
+
+let seen_arc t ~src ~dst = Hashtbl.mem t.seen_arcs (src, dst)
+let seen_pair t ~state ~cls = Hashtbl.mem t.seen_pairs (state, cls)
+let arc_declared t ~src ~dst = Hashtbl.mem t.declared (src, dst)
+
+let counts t =
+  {
+    c_states = t.states_count;
+    c_arcs = Hashtbl.length t.seen_arcs;
+    c_pairs = Hashtbl.length t.seen_pairs;
+    c_unmapped = t.unmapped;
+  }
+
+let delta ~before ~after =
+  {
+    c_states = after.c_states - before.c_states;
+    c_arcs = after.c_arcs - before.c_arcs;
+    c_pairs = after.c_pairs - before.c_pairs;
+    c_unmapped = after.c_unmapped - before.c_unmapped;
+  }
+
+let progress d = d.c_states > 0 || d.c_arcs > 0 || d.c_pairs > 0
 
 let summary t =
   {
-    states_seen =
-      Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.seen_states;
+    states_seen = t.states_count;
     states_total = Array.length t.seen_states;
     arcs_seen = Hashtbl.length t.seen_arcs;
     arcs_total = Hashtbl.length t.declared;
     unmapped = t.unmapped;
   }
+
+let pairs_seen t = Hashtbl.length t.seen_pairs
 
 let state_fraction c =
   if c.states_total = 0 then 0.

@@ -1,7 +1,7 @@
 (** Generic state/arc coverage counting over an enumerated state
     graph — the single implementation behind every coverage number
-    the repo reports (the RTL arc-coverage harness and the unified
-    {!Report}s both delegate here). *)
+    the repo reports (the RTL arc-coverage harness, the unified
+    {!Report}s and the lib/fuzz feedback loop all delegate here). *)
 
 type summary = {
   states_seen : int;
@@ -11,6 +11,19 @@ type summary = {
   unmapped : int;
       (** observations that did not project onto the declared space *)
 }
+
+type counts = {
+  c_states : int;
+  c_arcs : int;
+  c_pairs : int;
+  c_unmapped : int;
+}
+(** O(1) snapshot of the running totals.  Subtracting two snapshots
+    ({!delta}) is the incremental feedback signal of the
+    coverage-guided fuzzer: marks only ever add, so every component
+    of a [delta ~before ~after] taken across a batch of marks is
+    non-negative, and summing consecutive deltas reproduces a
+    from-scratch recount. *)
 
 type t
 
@@ -26,8 +39,34 @@ val mark_state : t -> int -> unit
 val mark_arc : t -> src:int -> dst:int -> unit
 (** Counted only when (src, dst) was declared. *)
 
+val mark_pair : t -> state:int -> cls:int -> unit
+(** Mark a (state, input-class) pair: the design sat in [state] while
+    input class [cls] (a flat choice index) was applied.  Finer than
+    arc coverage — two classes taking the same (src, dst) arc are two
+    pairs.  Counted only for in-range states; the class space is
+    open. *)
+
 val mark_unmapped : t -> unit
+
+val seen_state : t -> int -> bool
+val seen_arc : t -> src:int -> dst:int -> bool
+val seen_pair : t -> state:int -> cls:int -> bool
+val arc_declared : t -> src:int -> dst:int -> bool
+(** Membership queries — O(1); the fuzzer's keep decision peeks
+    before committing marks. *)
+
+val counts : t -> counts
+(** O(1): running totals maintained incrementally by the mark
+    functions, never recomputed by scanning. *)
+
+val delta : before:counts -> after:counts -> counts
+(** Component-wise [after - before]. *)
+
+val progress : counts -> bool
+(** [true] iff the delta carries any new state, arc or pair. *)
+
 val summary : t -> summary
+val pairs_seen : t -> int
 
 val state_fraction : summary -> float
 val arc_fraction : summary -> float

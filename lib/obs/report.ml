@@ -54,6 +54,34 @@ type mutation_section = {
   families : mutation_family list;
 }
 
+(* One row per vector generator in the fuzz comparison: transition
+   tours, the size-matched pure-random baseline, and the distilled
+   fuzz corpus. *)
+type fuzz_method = {
+  fz_method : string;
+  fz_entries : int;
+  fz_cycles : int;  (* vectors replayed against each mutant *)
+  fz_gen_cycles : int;  (* vectors spent generating the set *)
+  fz_states : int;
+  fz_arcs : int;
+  fz_pairs : int;
+  fz_killed : int;
+  fz_rate : float;
+  fz_mean_v2k : float;  (* mean vectors-to-kill over its kills *)
+}
+
+type fuzz_section = {
+  fz_seed : int;
+  fz_budget : int;
+  fz_rounds : int;
+  fz_executed : int;
+  fz_corpus : int;
+  fz_explore_cycles : int;
+  fz_arcs_total : int;
+  fz_candidates : int;
+  fz_methods : fuzz_method list;
+}
+
 type table = {
   table_title : string;
   header : string list;
@@ -68,6 +96,7 @@ type t = {
   coverage : Coverage.summary option;
   replay : replay_section option;
   mutation : mutation_section option;
+  fuzz : fuzz_section option;
   tables : table list;
   bench : (string * Json.t) list;
   notes : string list;
@@ -82,6 +111,7 @@ let empty ~title ~design =
     coverage = None;
     replay = None;
     mutation = None;
+    fuzz = None;
     tables = [];
     bench = [];
     notes = [];
@@ -90,7 +120,11 @@ let empty ~title ~design =
 let add_table t table = { t with tables = t.tables @ [ table ] }
 let add_note t note = { t with notes = t.notes @ [ note ] }
 
-let bench_files = [ "BENCH_enum.json"; "BENCH_sim.json"; "BENCH_mutation.json" ]
+let bench_files =
+  [
+    "BENCH_enum.json"; "BENCH_sim.json"; "BENCH_mutation.json";
+    "BENCH_fuzz.json";
+  ]
 
 let load_bench ?(dir = ".") t =
   let loaded =
@@ -173,6 +207,35 @@ let json_of_mutation (m : mutation_section) =
       ("families", Json.List (List.map json_of_family m.families));
     ]
 
+let json_of_fuzz_method (m : fuzz_method) =
+  Json.Obj
+    [
+      ("method", Json.Str m.fz_method);
+      ("entries", Json.Int m.fz_entries);
+      ("cycles", Json.Int m.fz_cycles);
+      ("gen_cycles", Json.Int m.fz_gen_cycles);
+      ("states", Json.Int m.fz_states);
+      ("arcs", Json.Int m.fz_arcs);
+      ("pairs", Json.Int m.fz_pairs);
+      ("killed", Json.Int m.fz_killed);
+      ("rate", Json.Float m.fz_rate);
+      ("mean_vectors_to_kill", Json.Float m.fz_mean_v2k);
+    ]
+
+let json_of_fuzz (f : fuzz_section) =
+  Json.Obj
+    [
+      ("seed", Json.Int f.fz_seed);
+      ("budget", Json.Int f.fz_budget);
+      ("rounds", Json.Int f.fz_rounds);
+      ("executed", Json.Int f.fz_executed);
+      ("corpus", Json.Int f.fz_corpus);
+      ("explore_cycles", Json.Int f.fz_explore_cycles);
+      ("arcs_total", Json.Int f.fz_arcs_total);
+      ("candidates", Json.Int f.fz_candidates);
+      ("methods", Json.List (List.map json_of_fuzz_method f.fz_methods));
+    ]
+
 let json_of_table (tb : table) =
   Json.Obj
     [
@@ -195,6 +258,7 @@ let to_json_value t =
       ("coverage", opt Coverage.to_json t.coverage);
       ("replay", opt json_of_replay t.replay);
       ("mutation", opt json_of_mutation t.mutation);
+      ("fuzz", opt json_of_fuzz t.fuzz);
       ("tables", Json.List (List.map json_of_table t.tables));
       ("bench", Json.Obj t.bench);
       ("notes", Json.List (List.map (fun n -> Json.Str n) t.notes));
@@ -359,6 +423,43 @@ let to_html t =
                  string_of_int f.fam_rejected;
                ])
              m.families;
+       });
+  (match t.fuzz with
+   | None -> ()
+   | Some f ->
+     kv_table buf "Coverage-guided fuzzing"
+       [
+         [ "seed"; string_of_int f.fz_seed ];
+         [ "budget (candidates)"; string_of_int f.fz_budget ];
+         [ "rounds"; string_of_int f.fz_rounds ];
+         [ "executed"; string_of_int f.fz_executed ];
+         [ "corpus kept"; string_of_int f.fz_corpus ];
+         [ "explore cycles"; string_of_int f.fz_explore_cycles ];
+       ];
+     html_table buf
+       {
+         table_title = "Generator comparison";
+         header =
+           [ "method"; "entries"; "cycles"; "arcs"; "arc %"; "killed";
+             "kill %"; "mean vec-to-kill" ];
+         rows =
+           List.map
+             (fun m ->
+               [
+                 m.fz_method;
+                 string_of_int m.fz_entries;
+                 string_of_int m.fz_cycles;
+                 Printf.sprintf "%d/%d" m.fz_arcs f.fz_arcs_total;
+                 Printf.sprintf "%.1f"
+                   (if f.fz_arcs_total = 0 then 0.
+                    else
+                      100. *. float_of_int m.fz_arcs
+                      /. float_of_int f.fz_arcs_total);
+                 Printf.sprintf "%d/%d" m.fz_killed f.fz_candidates;
+                 Printf.sprintf "%.1f" (100. *. m.fz_rate);
+                 Printf.sprintf "%.1f" m.fz_mean_v2k;
+               ])
+             f.fz_methods;
        });
   List.iter (fun tb -> html_table buf tb) t.tables;
   List.iter

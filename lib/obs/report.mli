@@ -53,6 +53,34 @@ type mutation_section = {
   families : mutation_family list;
 }
 
+(** One row per vector generator in the fuzz comparison: transition
+    tours, the size-matched pure-random baseline, and the distilled
+    fuzz corpus. *)
+type fuzz_method = {
+  fz_method : string;
+  fz_entries : int;
+  fz_cycles : int;  (** vectors replayed against each mutant *)
+  fz_gen_cycles : int;  (** vectors spent generating the set *)
+  fz_states : int;
+  fz_arcs : int;
+  fz_pairs : int;  (** (state, input-class) pairs covered *)
+  fz_killed : int;
+  fz_rate : float;
+  fz_mean_v2k : float;  (** mean vectors-to-kill over its kills *)
+}
+
+type fuzz_section = {
+  fz_seed : int;
+  fz_budget : int;
+  fz_rounds : int;
+  fz_executed : int;
+  fz_corpus : int;
+  fz_explore_cycles : int;
+  fz_arcs_total : int;
+  fz_candidates : int;
+  fz_methods : fuzz_method list;
+}
+
 type table = {
   table_title : string;
   header : string list;
@@ -67,6 +95,7 @@ type t = {
   coverage : Coverage.summary option;
   replay : replay_section option;
   mutation : mutation_section option;
+  fuzz : fuzz_section option;
   tables : table list;
   bench : (string * Json.t) list;
   notes : string list;

@@ -135,6 +135,18 @@ let state_nets (tr : Translate.result) =
 let total_cycles (vectors : Vector.t array) =
   Array.fold_left (fun acc v -> acc + Array.length v) 0 vectors
 
+(* Vector budget consumed up to and including a detecting cycle: the
+   full length of every trace before the mismatching one, plus the
+   cycles of the mismatching trace itself.  The post-reset check
+   (cycle -1) costs no vectors.  This is the "vectors-to-kill" cost
+   the generator comparison reports. *)
+let cycles_until (vectors : Vector.t array) (m : mismatch) =
+  let acc = ref 0 in
+  for ti = 0 to min (m.trace - 1) (Array.length vectors - 1) do
+    acc := !acc + Array.length vectors.(ti)
+  done;
+  !acc + max 0 (m.cycle + 1)
+
 let check ?dut ?(domains = 1)
     ?(parallel_threshold = default_parallel_threshold) ?progress
     ?vectors:vecs (tr : Translate.result) (graph : Avp_enum.State_graph.t)

@@ -19,6 +19,12 @@ type mismatch = {
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
 
+val cycles_until : Vector.t array -> mismatch -> int
+(** Vector budget consumed up to and including the detecting cycle:
+    the full length of every trace before [m.trace] plus
+    [m.cycle + 1] (a post-reset detection at cycle [-1] costs no
+    vectors) — the "vectors-to-kill" cost of a detection. *)
+
 val vectors :
   Avp_fsm.Translate.result -> Avp_tour.Tour_gen.t -> Vector.t array
 (** The force/release vectors of every trace, precomputed once.  The

@@ -24,4 +24,6 @@ let () =
       ("absint", Test_absint.suite);
       ("pp2", Test_pp2.suite);
       ("obs", Test_obs.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("campaign3", Test_campaign3.suite);
     ]
