@@ -132,6 +132,7 @@ let () =
   let p fmt = Printf.ksprintf (output_string oc) fmt in
   p "{\n";
   p "  \"design\": \"%s\",\n" sliced_result.Loop.design;
+  p "  \"provenance\": %s,\n" (History.provenance_string ());
   p "  \"cores\": %d,\n" cores;
   p "  \"domains\": %d,\n" domains;
   p "  \"lanes\": %d,\n" Avp_logic.Bv_sliced.lanes_limit;
@@ -145,6 +146,19 @@ let () =
   p "  \"report\": %s" (J.to_string_pretty report);
   p "\n}\n";
   close_out oc;
+  (match
+     (Compare.find_method cmp "fuzz", Compare.find_method cmp "random")
+   with
+  | Some f, Some r ->
+    History.append ~bench:"fuzz" ~preset:"pp_control"
+      [
+        ("fuzz_arcs", float_of_int f.Compare.m_arcs);
+        ("fuzz_killed", float_of_int f.Compare.m_killed);
+        ("random_arcs", float_of_int r.Compare.m_arcs);
+        ("random_killed", float_of_int r.Compare.m_killed);
+        ("engine_speedup", scalar_s /. sliced_s);
+      ]
+  | _ -> ());
   Format.printf "%a" Compare.pp cmp;
   Printf.printf
     "fuzz: scalar %.3fs, sliced %.3fs (%.2fx); comparison %.3fs\n" scalar_s

@@ -168,6 +168,7 @@ let () =
   let p fmt = Printf.ksprintf (output_string oc) fmt in
   p "{\n";
   p "  \"design\": \"%s\",\n" sliced_report.Campaign.design;
+  p "  \"provenance\": %s,\n" (History.provenance_string ());
   p "  \"cores\": %d,\n" cores;
   p "  \"domains\": %d,\n" domains;
   p "  \"lanes\": %d,\n" Avp_logic.Bv_sliced.lanes_limit;
@@ -192,6 +193,14 @@ let () =
   p "  \"report\": %s" (String.trim report_json);
   p "\n}\n";
   close_out oc;
+  History.append ~bench:"mutation" ~preset:"pp_control"
+    [
+      ("mutants", float_of_int nmut);
+      ("tour_cycles", float_of_int tour_cycles);
+      ("campaign_speedup", scalar_s /. sliced_s);
+      ("sliced_mutant_cycles_per_s", cps sliced_replay_s);
+      ("replay_speedup", scalar_replay_s /. sliced_replay_s);
+    ];
   Format.printf "%a" Campaign.pp_report sliced_report;
   Printf.printf
     "campaign: scalar %.3fs, sliced %.3fs (%.2fx); equal-work tour replay: \

@@ -87,6 +87,7 @@ let () =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"preset\": %S,\n" preset;
+  p "  \"provenance\": %s,\n" (History.provenance_string ());
   p "  \"cores\": %d,\n" cores;
   p "  \"num_states\": %d,\n" seq.State_graph.num_states;
   p "  \"num_edges\": %d,\n" seq.State_graph.num_edges;
@@ -104,6 +105,21 @@ let () =
   p "  ]\n";
   p "}\n";
   close_out oc;
+  (* Deterministic graph shape exactly, throughput/speedups within the
+     regress_check tolerance band. *)
+  History.append ~bench:"enum" ~preset
+    ([
+       ("num_states", float_of_int seq.State_graph.num_states);
+       ("num_edges", float_of_int seq.State_graph.num_edges);
+     ]
+    @ List.concat_map
+        (fun r ->
+          let d = string_of_int r.domains in
+          [
+            (Printf.sprintf "states_per_s_j%s" d, r.states_per_s);
+            (Printf.sprintf "speedup_j%s" d, r.speedup);
+          ])
+        runs);
   Printf.printf "wrote %s (%s preset, %d cores):\n" out preset cores;
   List.iter
     (fun r ->

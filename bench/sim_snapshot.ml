@@ -345,6 +345,7 @@ let () =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"design\": \"pp_control\",\n";
+  p "  \"provenance\": %s,\n" (History.provenance_string ());
   p "  \"cores\": %d,\n" cores;
   p "  \"cycles\": %d,\n" cycles;
   p "  \"interp_cycles_per_s\": %.1f,\n" interp_cps;
@@ -374,6 +375,15 @@ let () =
   p "  ]\n";
   p "}\n";
   close_out oc;
+  History.append ~bench:"sim" ~preset:"pp_control"
+    [
+      ("folded_nets", float_of_int folded_nets);
+      ("interp_cycles_per_s", interp_cps);
+      ("compiled_cycles_per_s", compiled_cps);
+      ("sliced_lane_cycles_per_s", sliced_lane_cps);
+      ("fold_speedup", fold_speedup);
+      ("batched_replay_speedup", batch_speedup);
+    ];
   Printf.printf "wrote %s (%d cores):\n" out cores;
   Printf.printf "  interp   %.0f cycles/s\n" interp_cps;
   Printf.printf "  compiled %.0f cycles/s  (%.2fx)\n" compiled_cps ratio;

@@ -28,8 +28,10 @@ let file_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FILE"
         ~doc:"Annotated Verilog source file, a .sml model (for enumerate \
-              and tour), or 'pp' for the built-in Protocol Processor \
-              control module.")
+              and tour), 'pp' for the built-in Protocol Processor control \
+              module, or 'pp-model'/'pp-model-medium'/'pp-model-large' \
+              for the abstract control FSM presets (pure transition \
+              functions, so enumeration can use every domain).")
 
 let top_arg =
   Arg.(
@@ -82,6 +84,19 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write accumulated counters and histograms as JSON.")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:"Profile the run in-process: span self/total times, \
+              allocation per span, and the parallel-efficiency \
+              diagnosis.  Writes profile JSON to $(docv), or prints the \
+              text report to stderr when $(docv) is '-' (the default \
+              when the flag is given bare).  Enables GC sampling, so a \
+              trace captured alongside carries allocation args and is \
+              no longer -j invariant.")
+
 let report_arg =
   Arg.(
     value
@@ -108,12 +123,23 @@ let write_file path contents =
 (* Install a tracer when --trace/--metrics was given; artifacts are
    written on the way out even when the command exits nonzero, so a
    failing gate still leaves its trace behind. *)
-let with_obs ~trace ~metrics f =
-  match (trace, metrics) with
-  | None, None -> f ()
+(* Report-writing commands embed the in-process profile when the run
+   passed --profile; they run inside [with_obs]'s thunk, so they read
+   the live tracer rather than a finished one. *)
+let profile_requested = ref false
+
+let with_obs ?(profile = None) ~trace ~metrics f =
+  match (trace, metrics, profile) with
+  | None, None, None -> f ()
   | _ ->
-    let t = Obs.create () in
-    let code = Obs.with_tracer t f in
+    if profile <> None then profile_requested := true;
+    let t = Obs.create ~gc:(profile <> None) () in
+    let code =
+      Obs.with_tracer t (fun () ->
+          let code = f () in
+          Obs.sample_gc ();
+          code)
+    in
     Option.iter
       (fun p ->
         Obs.write_trace t p;
@@ -124,6 +150,15 @@ let with_obs ~trace ~metrics f =
         Obs.write_metrics t p;
         Format.eprintf "metrics: wrote %s@." p)
       metrics;
+    Option.iter
+      (fun p ->
+        let prof = Avp_obs.Prof.of_tracer t in
+        if p = "-" then Format.eprintf "%a" Avp_obs.Prof.pp prof
+        else begin
+          write_file p (Avp_obs.Prof.to_json prof);
+          Format.eprintf "profile: wrote %s@." p
+        end)
+      profile;
     code
 
 (* Periodic stderr progress, shown only on a TTY and never under
@@ -154,7 +189,16 @@ let tour_section (s : Tour_gen.stats) : Avp_obs.Report.tour_section =
   }
 
 let write_report report ~dir =
-  Avp_obs.Report.write (Avp_obs.Report.load_bench report) ~dir;
+  let report =
+    match (!profile_requested, Obs.current ()) with
+    | true, Some t ->
+      Obs.sample_gc ();
+      { report with Avp_obs.Report.profile = Some (Avp_obs.Prof.of_tracer t) }
+    | _ -> report
+  in
+  Avp_obs.Report.write
+    (Avp_obs.Report.load_history (Avp_obs.Report.load_bench report))
+    ~dir;
   Format.eprintf "report: wrote %s/report.json and %s/report.html@." dir dir
 
 (* ---------------------------------------------------------------- *)
@@ -170,8 +214,16 @@ let load_translation file top =
 (* Enumerate/tour also accept models in the Synchronous-Murphi-style
    text language (.sml files). *)
 let load_model file top =
-  if Filename.check_suffix file ".sml" then Sml.parse (read_file file)
-  else (load_translation file top).Translate.model
+  match file with
+  (* The abstract Control_model presets have pure transition functions
+     (parallel_safe), unlike HDL translations — the way to exercise
+     the parallel BFS from the CLI. *)
+  | "pp-model" -> Avp_pp.Control_model.(model default)
+  | "pp-model-medium" -> Avp_pp.Control_model.(model medium)
+  | "pp-model-large" -> Avp_pp.Control_model.(model large)
+  | _ ->
+    if Filename.check_suffix file ".sml" then Sml.parse (read_file file)
+    else (load_translation file top).Translate.model
 
 (* ---------------------------------------------------------------- *)
 (* Commands                                                         *)
@@ -203,8 +255,8 @@ let translate_cmd =
     Term.(const run $ file_arg $ top_arg $ murphi_arg)
 
 let enumerate_cmd =
-  let run file top all_conditions dot domains trace metrics absint =
-    with_obs ~trace ~metrics @@ fun () ->
+  let run file top all_conditions dot domains trace metrics profile absint =
+    with_obs ~profile ~trace ~metrics @@ fun () ->
     let progress = make_progress "enumerate" in
     (* --absint: prove per-net state invariants first and use them as
        a frontier filter.  The filter is sound, so the graph must be
@@ -264,7 +316,7 @@ let enumerate_cmd =
     (Cmd.info "enumerate" ~doc:"Fully enumerate the control state graph.")
     Term.(
       const run $ file_arg $ top_arg $ all_conditions_arg $ dot_arg
-      $ domains_arg $ trace_arg $ metrics_arg $ absint_arg)
+      $ domains_arg $ trace_arg $ metrics_arg $ profile_arg $ absint_arg)
 
 let tour_cmd =
   let run file top all_conditions limit domains trace metrics =
@@ -324,8 +376,8 @@ let seed_arg =
 let mutate_cmd =
   let open Avp_mutate in
   let run file top ops seed budget json domains limit gate engine trace
-      metrics report_dir =
-    with_obs ~trace ~metrics @@ fun () ->
+      metrics profile report_dir =
+    with_obs ~profile ~trace ~metrics @@ fun () ->
     let src =
       if file = "pp" then Avp_pp.Control_hdl.source else read_file file
     in
@@ -453,15 +505,15 @@ let mutate_cmd =
     Term.(
       const run $ file_arg $ top_arg $ ops_arg $ seed_arg $ budget_arg
       $ json_arg $ domains_arg $ limit_arg $ gate_arg $ engine_arg
-      $ trace_arg $ metrics_arg $ report_arg)
+      $ trace_arg $ metrics_arg $ profile_arg $ report_arg)
 
 let fuzz_cmd =
   let module J = Avp_obs.Json in
   let module Loop = Avp_fuzz.Loop in
   let module Compare = Avp_fuzz.Compare in
   let run file top seed budget batch engine domains corpus_out replay_in
-      mutants json gate trace metrics report_dir =
-    with_obs ~trace ~metrics @@ fun () ->
+      mutants json gate trace metrics profile report_dir =
+    with_obs ~profile ~trace ~metrics @@ fun () ->
     let src =
       if file = "pp" then Avp_pp.Control_hdl.source else read_file file
     in
@@ -727,7 +779,8 @@ let fuzz_cmd =
     Term.(
       const run $ file_arg $ top_arg $ seed_arg $ budget_arg $ batch_arg
       $ engine_arg $ domains_arg $ corpus_arg $ replay_arg $ mutants_arg
-      $ json_arg $ gate_arg $ trace_arg $ metrics_arg $ report_arg)
+      $ json_arg $ gate_arg $ trace_arg $ metrics_arg $ profile_arg
+      $ report_arg)
 
 let validate_cmd =
   let run file bug limit domains seed fuzz trace metrics vcd report_dir =
@@ -1162,8 +1215,8 @@ let invariants_cmd =
     Term.(const run $ file_arg $ top_arg $ json_arg)
 
 let replay_cmd =
-  let run file top limit domains trace metrics vcd report_dir =
-    with_obs ~trace ~metrics @@ fun () ->
+  let run file top limit domains trace metrics profile vcd report_dir =
+    with_obs ~profile ~trace ~metrics @@ fun () ->
     let tr = load_translation file top in
     let g = State_graph.enumerate tr.Translate.model in
     let t = Tour_gen.generate ?instr_limit:limit g in
@@ -1231,7 +1284,84 @@ let replay_cmd =
              checking every predicted transition.")
     Term.(
       const run $ file_arg $ top_arg $ limit_arg $ domains_arg $ trace_arg
-      $ metrics_arg $ vcd_arg $ report_arg)
+      $ metrics_arg $ profile_arg $ vcd_arg $ report_arg)
+
+let profile_cmd =
+  let run trace_file folded flame json_out normalize =
+    match Avp_obs.Prof.read_trace trace_file with
+    | Error msg ->
+      Format.eprintf "avp profile: %s@." msg;
+      2
+    | Ok [] ->
+      Format.eprintf "avp profile: %s holds no decodable events@." trace_file;
+      2
+    | Ok evs ->
+      let p = Avp_obs.Prof.of_events evs in
+      Option.iter
+        (fun path ->
+          write_file path (Avp_obs.Prof.folded_string p);
+          Format.eprintf "folded: wrote %s@." path)
+        folded;
+      Option.iter
+        (fun path ->
+          write_file path (Avp_obs.Prof.flame_html p);
+          Format.eprintf "flame: wrote %s@." path)
+        flame;
+      (match json_out with
+       | Some path ->
+         write_file path (Avp_obs.Prof.to_json ~normalize p);
+         Format.eprintf "profile: wrote %s@." path
+       | None -> Format.printf "%a" Avp_obs.Prof.pp p);
+      0
+  in
+  let trace_file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"A trace written by $(b,--trace): Chrome trace_event JSON, \
+                or JSON-lines when $(docv) ends in .jsonl.")
+  in
+  let folded_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:"Write collapsed stacks ('frame;frame self_ns' lines) for \
+                inferno, speedscope or flamegraph.pl.")
+  in
+  let flame_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:"Write a self-contained static HTML flame (icicle) view.")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full profile as JSON instead of printing the \
+                text report.")
+  in
+  let normalize_arg =
+    Arg.(
+      value & flag
+      & info [ "normalize" ]
+          ~doc:"With $(b,--json): keep only the run-invariant skeleton \
+                (per-label counts, no times or domains) — byte-identical \
+                across $(b,-j) for deterministic work.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Analyze a recorded trace: per-span self/total time and \
+             percentiles, collapsed-stack flamegraph export, and the \
+             parallel-efficiency report (per-domain utilization, \
+             per-level barrier wait, work imbalance, serial fraction).")
+    Term.(
+      const run $ trace_file_arg $ folded_out_arg $ flame_out_arg
+      $ json_out_arg $ normalize_arg)
 
 let errata_cmd =
   let run () =
@@ -1253,7 +1383,7 @@ let main =
     [
       translate_cmd; enumerate_cmd; tour_cmd; vectors_cmd; replay_cmd;
       lint_cmd; invariants_cmd; validate_cmd; mutate_cmd; fuzz_cmd;
-      errata_cmd;
+      profile_cmd; errata_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

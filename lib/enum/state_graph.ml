@@ -141,10 +141,10 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
   (* Telemetry is per BFS level / batch, never per state: with spans
      off this adds one Atomic.get per level, so -j throughput is
      unchanged (the 3%-overhead budget in DESIGN.md). *)
-  let level_span kind ~sources ~dur_s =
+  let level_span ?(extra = []) kind ~sources ~dur_s =
     if Obs.enabled () then
       Obs.complete ~cat:"enum" kind ~dur_s
-        ~args:[ ("sources", Obs.Int sources) ];
+        ~args:(("sources", Obs.Int sources) :: extra);
     match progress with
     | Some p -> Avp_obs.Progress.tick ~n:sources p
     | None -> ()
@@ -265,6 +265,10 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
   (* ---------------------------------------------------------------- *)
   let run_parallel pool =
     let batch_cap = max domains (max 1 (batch_edge_cap / max 1 num_choices)) in
+    (* Batch ids link the [enum.batch] parent span to the per-domain
+       [enum.shard] spans (and, via flow_out/flow_in, draw handoff
+       arrows in the Chrome trace viewer). *)
+    let batch_no = ref 0 in
     (* dst_ids.(k) >= 0: successor already interned before this batch.
        -1: unknown to the frozen table; its valuation is in
        new_vals.(k), resolved (or assigned a fresh id) during merge.
@@ -286,8 +290,12 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
         new_vals := Array.make (cnt * num_choices) [||]
       end;
       let dst_ids = !dst_ids and new_vals = !new_vals in
+      let batch = !batch_no in
+      incr batch_no;
       let lt0 = Obs.Clock.now_s () in
+      let traced = Obs.enabled () in
       Pool.run pool (fun slot ->
+          let st0 = if traced then Obs.Clock.now_s () else 0. in
           let j0 = cnt * slot / domains in
           let j1 = cnt * (slot + 1) / domains in
           let nxt = Array.make nvars 0 in
@@ -304,7 +312,20 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
                 Array.unsafe_set dst_ids (base + ci) (-1);
                 Array.unsafe_set new_vals (base + ci) (Array.copy nxt)
             done
-          done);
+          done;
+          (* One retrospective span per domain per batch, emitted on
+             the worker so its [dom] is the expanding domain — the
+             profiler's busy-timeline unit. *)
+          if traced then
+            Obs.complete ~cat:"enum" "enum.shard"
+              ~dur_s:(Obs.Clock.now_s () -. st0)
+              ~args:
+                [
+                  ("batch", Obs.Int batch);
+                  ("slot", Obs.Int slot);
+                  ("sources", Obs.Int (j1 - j0));
+                  ("flow_in", Obs.Int batch);
+                ]);
       for j = 0 to cnt - 1 do
         let base = j * num_choices in
         Hashtbl.reset seen_dst;
@@ -325,6 +346,7 @@ let enumerate ?(all_conditions = false) ?(max_states = 5_000_000) ?domains
       let dt = Obs.Clock.now_s () -. lt0 in
       level_times := (cnt, dt) :: !level_times;
       level_span "enum.batch" ~sources:cnt ~dur_s:dt
+        ~extra:[ ("batch", Obs.Int batch); ("flow_out", Obs.Int batch) ]
     done
   in
   let used_domains = ref 1 in

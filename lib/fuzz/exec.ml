@@ -68,7 +68,12 @@ let exec_span i cycles t0 =
   if Obs.enabled () then
     Obs.complete ~cat:"fuzz" "fuzz.exec"
       ~dur_s:(Obs.Clock.now_s () -. t0)
-      ~args:[ ("candidate", Obs.Int i); ("cycles", Obs.Int cycles) ]
+      ~args:
+        [
+          ("candidate", Obs.Int i);
+          ("cycles", Obs.Int cycles);
+          ("flow_in", Obs.Int 0);
+        ]
 
 let shard ~domains n job =
   let domains = max 1 (min domains (max 1 n)) in

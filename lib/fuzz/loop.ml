@@ -241,6 +241,7 @@ let round_span ~round ~t0 st =
       ~args:
         [
           ("round", Obs.Int round);
+          ("flow_out", Obs.Int 0);
           ("executed", Obs.Int st.executed);
           ("kept", Obs.Int st.n_kept);
           ("arcs", Obs.Int c.Coverage.c_arcs);

@@ -1429,6 +1429,12 @@ type prog = {
 }
 
 let compile ?u ?facts (d : Elab.t) =
+  (* Bytecode assembly is paid once per design (or per mutant in a
+     campaign) — a span makes its share visible next to the per-trace
+     replay spans in the profile. *)
+  Avp_obs.Obs.span ~cat:"hdl" "hdl.compile"
+    ~args:[ ("nets", Avp_obs.Obs.Int (Array.length d.Elab.nets)) ]
+  @@ fun () ->
   let d, u =
     match facts with
     | None -> (d, (match u with Some u -> u | None -> units d))

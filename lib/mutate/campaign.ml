@@ -365,6 +365,7 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
         ~args:
           [
             ("mutant", Obs.Int mutants.(i).Gen.id);
+            ("flow_in", Obs.Int 0);
             ( "class",
               Obs.Str
                 (match cls with
@@ -404,6 +405,13 @@ let run ?families ?(seed = 1) ?budget ?(domains = 1)
                 i := !i + domains
               done))
   in
+  (* The parent span covers every pass and classification; the
+     constant flow id draws the fan-out to the per-mutant spans in the
+     Chrome viewer, and its args are domain-count-free so normalized
+     traces stay -j invariant. *)
+  Obs.span ~cat:"mutate" "mutate.run"
+    ~args:[ ("mutants", Obs.Int n); ("flow_out", Obs.Int 0) ]
+  @@ fun () ->
   (match engine with
    | `Scalar -> scalar_pass (Array.init n (fun i -> i))
    | `Sliced ->

@@ -67,6 +67,15 @@ type buffer = {
 
 type t = {
   epoch : float;
+  (* When set, bracketed spans also record their allocation delta
+     (an [alloc_w] minor+major words arg, read from counters — the
+     heap is never walked) and {!sample_gc} snapshots collector
+     counters.  Off by default: allocation counts vary with domain
+     scheduling, so the [-j]-invariant normalized traces must not
+     carry them. *)
+  gc : bool;
+  gc0 : Gc.stat;  (* collector counters at tracer creation *)
+  alloc0 : float;  (* allocated words at tracer creation *)
   mutex : Mutex.t;
   buffers : buffer list ref;  (* registration order; merged sorted *)
   key : buffer Domain.DLS.key;
@@ -82,7 +91,16 @@ let fresh_buffer dom =
     histograms = Hashtbl.create 16;
   }
 
-let create () =
+(* Allocated words on this domain: [Gc.minor_words] is the precise
+   per-domain allocation counter (a pointer read — [Gc.quick_stat]'s
+   copy is only refreshed at minor collections and reads stale
+   between them); the quick_stat major/promoted figures correct for
+   direct major-heap allocations. *)
+let alloc_words () =
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
+let create ?(gc = false) () =
   let mutex = Mutex.create () in
   let buffers = ref [] in
   let key =
@@ -93,7 +111,15 @@ let create () =
         Mutex.unlock mutex;
         b)
   in
-  { epoch = Clock.now_s (); mutex; buffers; key }
+  {
+    epoch = Clock.now_s ();
+    gc;
+    gc0 = Gc.quick_stat ();
+    alloc0 = alloc_words ();
+    mutex;
+    buffers;
+    key;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* The global tracer                                                  *)
@@ -117,6 +143,7 @@ let ns_of t s = int_of_float ((s -. t.epoch) *. 1e9)
 (* Emission                                                           *)
 (* ------------------------------------------------------------------ *)
 
+
 let span ?(cat = "avp") ?(args = []) name f =
   match Atomic.get cur with
   | None -> f ()
@@ -126,6 +153,7 @@ let span ?(cat = "avp") ?(args = []) name f =
     b.tick <- o + 1;
     let depth = b.depth in
     b.depth <- depth + 1;
+    let a0 = if t.gc then alloc_words () else 0. in
     let t0 = Clock.now_s () in
     Fun.protect
       ~finally:(fun () ->
@@ -133,6 +161,11 @@ let span ?(cat = "avp") ?(args = []) name f =
         b.depth <- depth;
         let c = b.tick in
         b.tick <- c + 1;
+        let args =
+          if t.gc then
+            ("alloc_w", Int (int_of_float (alloc_words () -. a0))) :: args
+          else args
+        in
         b.rev_events <-
           {
             name;
@@ -239,6 +272,27 @@ let observe name v =
         max 0 (min 63 (e + 32))
     in
     h.buckets.(idx) <- h.buckets.(idx) + 1
+
+(* Snapshot the collector's counters as Obs counters (deltas since
+   tracer creation).  One call on the way out of a profiled section —
+   never per event, so it costs nothing on any hot path.  No-op
+   unless the tracer was created with [~gc:true]. *)
+let sample_gc () =
+  match Atomic.get cur with
+  | None -> ()
+  | Some t ->
+    if t.gc then begin
+      let s = Gc.quick_stat () in
+      let d name v = if v <> 0 then incr ~by:v name in
+      d "gc.minor_collections"
+        (s.Gc.minor_collections - t.gc0.Gc.minor_collections);
+      d "gc.major_collections"
+        (s.Gc.major_collections - t.gc0.Gc.major_collections);
+      d "gc.compactions" (s.Gc.compactions - t.gc0.Gc.compactions);
+      d "gc.promoted_words"
+        (int_of_float (s.Gc.promoted_words -. t.gc0.Gc.promoted_words));
+      d "gc.allocated_words" (int_of_float (alloc_words () -. t.alloc0))
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Merge                                                              *)
@@ -461,13 +515,42 @@ let to_jsonl ?(normalize = false) t =
     evs;
   Buffer.contents buf
 
+(* Flow events: spans carrying a [flow_out] arg (a fan-out parent —
+   the batch merge, the replay driver) open a flow at their start
+   timestamp; spans carrying [flow_in] (the per-domain shard work)
+   terminate it at theirs.  Chrome/Perfetto match on (name, cat, id),
+   so cross-domain handoffs render as arrows from the coordinator's
+   track to each worker track.  The flow events are derived at
+   serialization — they are not stored, so JSONL round-trips and the
+   normalized [-j] comparisons are untouched. *)
+let flow_arg key (e : event) =
+  match List.assoc_opt key e.args with Some (Int id) -> Some id | _ -> None
+
+let chrome_flow_events (e : event) =
+  let mk ph id =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"id\":%d,\"pid\":0,\
+       \"tid\":%d,\"ts\":%s%s}"
+      (Json.escape "flow") (Json.escape e.cat) ph id e.dom
+      (Json.float_string (float_of_int e.ts_ns /. 1000.))
+      (if ph = "f" then ",\"bp\":\"e\"" else "")
+  in
+  (match flow_arg "flow_out" e with Some id -> [ mk "s" id ] | None -> [])
+  @ match flow_arg "flow_in" e with Some id -> [ mk "f" id ] | None -> []
+
 let to_chrome t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-  List.iteri
-    (fun i e ->
-      if i > 0 then Buffer.add_string buf ",\n";
-      Buffer.add_string buf (encode_event e))
+  let first = ref true in
+  let add line =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf line
+  in
+  List.iter
+    (fun e ->
+      add (encode_event e);
+      List.iter add (chrome_flow_events e))
     (events t);
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

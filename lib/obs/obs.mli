@@ -45,7 +45,12 @@ type event = {
 
 type t
 
-val create : unit -> t
+val create : ?gc:bool -> unit -> t
+(** [~gc:true] additionally samples the collector: bracketed spans
+    record an [alloc_w] allocated-words arg ([Gc.quick_stat], counter
+    reads only) and {!sample_gc} snapshots collection counts.  Off by
+    default — allocation varies with domain scheduling, so traces
+    meant to be [-j]-invariant must not carry it. *)
 
 (** {2 The global tracer} *)
 
@@ -73,6 +78,12 @@ val incr : ?by:int -> string -> unit
 val observe : string -> float -> unit
 (** [observe name v] adds [v] to the named histogram (count, sum,
     min/max, log2 buckets), merged across domains at serialization. *)
+
+val sample_gc : unit -> unit
+(** Snapshot the collector's counters as [gc.*] Obs counters (deltas
+    since tracer creation).  Call once on the way out of a profiled
+    section; no-op when tracing is disabled or the tracer was created
+    without [~gc:true]. *)
 
 (** {2 Merged views} *)
 
@@ -107,6 +118,11 @@ val encode_event : event -> string
 
 val decode_event : string -> event option
 
+val event_of_json : Json.t -> event option
+(** Decode one already-parsed trace_event object — what a Chrome-JSON
+    trace file's [traceEvents] array holds (the profiler reads both
+    formats back). *)
+
 val normalize_events : event list -> event list
 (** Drops run-varying fields (timestamps, domain ids, ticks, depth)
     and sorts by stable identity — after this, runs that did the same
@@ -115,7 +131,10 @@ val normalize_events : event list -> event list
 val to_jsonl : ?normalize:bool -> t -> string
 val to_chrome : t -> string
 (** Chrome trace_event JSON ([{"traceEvents": [...]}]), loadable in
-    [chrome://tracing] and Perfetto. *)
+    [chrome://tracing] and Perfetto.  Spans carrying a [flow_out] /
+    [flow_in] integer arg additionally emit [ph:"s"] / [ph:"f"] flow
+    events (matched on category and id), so cross-domain handoffs —
+    batch merge to per-domain shards — render as arrows. *)
 
 val metrics_json : t -> string
 (** Counters and histogram summaries as deterministic pretty JSON. *)

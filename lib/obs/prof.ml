@@ -1,0 +1,796 @@
+(* Span analytics over the Obs event stream.
+
+   All derived facts come from the events alone so the analysis is
+   identical in-process (--profile) and offline (avp profile over a
+   --trace capture).  Nesting is reconstructed per domain from the
+   tick intervals [o, c] — the same relation Obs.well_formed checks —
+   never from timestamps, so retrospective [complete] spans nest
+   exactly as they were emitted. *)
+
+type span_stat = {
+  s_cat : string;
+  s_name : string;
+  s_count : int;
+  s_total_ns : int;
+  s_self_ns : int;
+  s_min_ns : int;
+  s_p50_ns : int;
+  s_p95_ns : int;
+  s_max_ns : int;
+  s_alloc_w : int;
+  s_by_dom : (int * int) list;
+}
+
+type shard = {
+  sh_dom : int;
+  sh_slot : int;
+  sh_start_ns : int;
+  sh_dur_ns : int;
+}
+
+type level = {
+  lv_name : string;
+  lv_batch : int;
+  lv_sources : int;
+  lv_wall_ns : int;
+  lv_merge_ns : int;
+  lv_barrier_ns : int;
+  lv_imbalance : float;
+  lv_shards : shard list;
+}
+
+type parallel = {
+  par_domains : int;
+  par_wall_ns : int;
+  par_busy_ns : int;
+  par_utilization : float;
+  par_serial_fraction : float;
+  par_concurrency : (int * int) list;
+  par_levels : level list;
+  par_diagnosis : string;
+}
+
+type t = {
+  p_events : int;
+  p_wall_ns : int;
+  p_spans : span_stat list;
+  p_folded : (string * int) list;
+  p_parallel : parallel option;
+  p_counters : (string * int) list;
+}
+
+(* Span names conventionally embed their category ("enum.shard" in cat
+   "enum"); don't print it twice. *)
+let label cat name =
+  let pre = cat ^ "." in
+  if cat = "" || String.starts_with ~prefix:pre name then name
+  else pre ^ name
+
+let int_arg key (e : Obs.event) =
+  match List.assoc_opt key e.Obs.args with
+  | Some (Obs.Int i) -> Some i
+  | _ -> None
+
+(* The per-domain worker spans the busy/idle timeline is built from:
+   each one is a contiguous stretch of real work on its domain. *)
+let worker_names =
+  [ "enum.shard"; "replay.trace"; "mutate.classify"; "mutate.pass";
+    "fuzz.exec" ]
+
+(* Parent spans of batch-synchronous fan-outs; a [batch] arg links
+   them to the shard spans carrying the same id. *)
+let fanout_names = [ "enum.batch" ]
+
+(* ------------------------------------------------------------------ *)
+(* Nesting: direct parents and self time                              *)
+(* ------------------------------------------------------------------ *)
+
+(* For every span, its direct parent within its domain (or -1): spans
+   sorted by open tick, a stack of currently-open spans; [p] encloses
+   [e] iff p.o < e.o && e.c < p.c.  O(n log n). *)
+let compute_parents (spans : Obs.event array) =
+  let n = Array.length spans in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let ea = spans.(a) and eb = spans.(b) in
+      match compare (ea.Obs.dom, ea.Obs.o) (eb.Obs.dom, eb.Obs.o) with
+      | 0 -> compare eb.Obs.c ea.Obs.c
+      | c -> c)
+    order;
+  let parent = Array.make n (-1) in
+  let stack = ref [] in
+  Array.iter
+    (fun i ->
+      let e = spans.(i) in
+      let rec unwind = function
+        | p :: rest ->
+          let pe = spans.(p) in
+          if pe.Obs.dom = e.Obs.dom && pe.Obs.o < e.Obs.o && e.Obs.c < pe.Obs.c
+          then p :: rest
+          else unwind rest
+        | [] -> []
+      in
+      stack := unwind !stack;
+      (match !stack with p :: _ -> parent.(i) <- p | [] -> ());
+      stack := i :: !stack)
+    order;
+  parent
+
+(* Second pass: retrospective point-tick spans (o = c) carry no tick
+   nesting of their own — an enum.run emitted after its levels, a
+   batch after its shards — but their measured [ts, ts+dur] windows
+   do nest.  Fill in parents for still-parentless point spans by
+   temporal containment: the same stack sweep over (dom, start asc,
+   end desc).  Bracketed spans keep their pure tick semantics. *)
+let complete_parents (spans : Obs.event array) (parent : int array) =
+  let n = Array.length spans in
+  let order = Array.init n (fun i -> i) in
+  let end_ (e : Obs.event) = e.Obs.ts_ns + e.Obs.dur_ns in
+  Array.sort
+    (fun a b ->
+      let ea = spans.(a) and eb = spans.(b) in
+      match
+        compare (ea.Obs.dom, ea.Obs.ts_ns) (eb.Obs.dom, eb.Obs.ts_ns)
+      with
+      | 0 -> (
+        match compare (end_ eb) (end_ ea) with 0 -> compare a b | c -> c)
+      | c -> c)
+    order;
+  let stack = ref [] in
+  Array.iter
+    (fun i ->
+      let e = spans.(i) in
+      let rec unwind = function
+        | p :: rest ->
+          let pe = spans.(p) in
+          if
+            pe.Obs.dom = e.Obs.dom
+            && pe.Obs.ts_ns <= e.Obs.ts_ns
+            && end_ e <= end_ pe
+            && not (pe.Obs.ts_ns = e.Obs.ts_ns && end_ pe = end_ e)
+          then p :: rest
+          else unwind rest
+        | [] -> []
+      in
+      stack := unwind !stack;
+      (match !stack with
+       | p :: _ when parent.(i) = -1 && e.Obs.o = e.Obs.c -> parent.(i) <- p
+       | _ -> ());
+      stack := i :: !stack)
+    order
+
+let of_events ?(counters = []) (evs : Obs.event list) =
+  let all = Array.of_list evs in
+  let spans =
+    Array.of_list (List.filter (fun e -> e.Obs.ph = Obs.Span) evs)
+  in
+  let n = Array.length spans in
+  let parent = compute_parents spans in
+  complete_parents spans parent;
+  (* Self time: duration minus the directly nested spans'. *)
+  let child_ns = Array.make n 0 in
+  Array.iteri
+    (fun i p -> if p >= 0 then child_ns.(p) <- child_ns.(p) + spans.(i).Obs.dur_ns)
+    parent;
+  let self_ns = Array.init n (fun i -> spans.(i).Obs.dur_ns - child_ns.(i)) in
+  (* Aggregation per (cat, name). *)
+  let groups : (string * string, int list ref * int ref * int ref * int ref
+                * (int, int ref) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  Array.iteri
+    (fun i e ->
+      let key = (e.Obs.cat, e.Obs.name) in
+      let durs, self, alloc, count, by_dom =
+        match Hashtbl.find_opt groups key with
+        | Some g -> g
+        | None ->
+          let g = (ref [], ref 0, ref 0, ref 0, Hashtbl.create 4) in
+          Hashtbl.add groups key g;
+          g
+      in
+      durs := e.Obs.dur_ns :: !durs;
+      self := !self + self_ns.(i);
+      (match int_arg "alloc_w" e with
+       | Some w -> alloc := !alloc + w
+       | None -> ());
+      incr count;
+      match Hashtbl.find_opt by_dom e.Obs.dom with
+      | Some r -> r := !r + e.Obs.dur_ns
+      | None -> Hashtbl.add by_dom e.Obs.dom (ref e.Obs.dur_ns))
+    spans;
+  let stats =
+    Hashtbl.fold
+      (fun (cat, name) (durs, self, alloc, count, by_dom) acc ->
+        let ds = Array.of_list !durs in
+        Array.sort compare ds;
+        let m = Array.length ds in
+        let pct p = ds.(min (m - 1) (p * (m - 1) / 100 + if p * (m - 1) mod 100 = 0 then 0 else 1)) in
+        let total = Array.fold_left ( + ) 0 ds in
+        {
+          s_cat = cat;
+          s_name = name;
+          s_count = !count;
+          s_total_ns = total;
+          s_self_ns = !self;
+          s_min_ns = ds.(0);
+          s_p50_ns = pct 50;
+          s_p95_ns = pct 95;
+          s_max_ns = ds.(m - 1);
+          s_alloc_w = !alloc;
+          s_by_dom =
+            Hashtbl.fold (fun d r acc -> (d, !r) :: acc) by_dom []
+            |> List.sort compare;
+        }
+        :: acc)
+      groups []
+    |> List.sort (fun a b ->
+           match compare b.s_self_ns a.s_self_ns with
+           | 0 -> compare (a.s_cat, a.s_name) (b.s_cat, b.s_name)
+           | c -> c)
+  in
+  (* Folded stacks: root chain per span, self time attributed to the
+     full path; a dom<i> root frame keeps the domains apart. *)
+  let folded : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec path i =
+    let e = spans.(i) in
+    let frame = label e.Obs.cat e.Obs.name in
+    if parent.(i) < 0 then Printf.sprintf "dom%d;%s" e.Obs.dom frame
+    else path parent.(i) ^ ";" ^ frame
+  in
+  Array.iteri
+    (fun i _ ->
+      let p = path i in
+      let v = max 0 self_ns.(i) in
+      match Hashtbl.find_opt folded p with
+      | Some old -> Hashtbl.replace folded p (old + v)
+      | None -> Hashtbl.add folded p v)
+    spans;
+  let folded =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) folded []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (* Envelope of the whole trace. *)
+  let wall_ns =
+    if Array.length all = 0 then 0
+    else begin
+      let lo = ref max_int and hi = ref min_int in
+      Array.iter
+        (fun e ->
+          if e.Obs.ts_ns < !lo then lo := e.Obs.ts_ns;
+          let e_end = e.Obs.ts_ns + e.Obs.dur_ns in
+          if e_end > !hi then hi := e_end)
+        all;
+      !hi - !lo
+    end
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Parallel efficiency                                              *)
+  (* ---------------------------------------------------------------- *)
+  let workers =
+    Array.of_list
+      (List.filter (fun e -> List.mem e.Obs.name worker_names)
+         (Array.to_list spans))
+  in
+  let parallel =
+    if Array.length workers = 0 then None
+    else begin
+      (* Envelope of the parallel section: worker and fan-out parent
+         spans (the parent extends past the last shard, covering the
+         serial merge). *)
+      let in_envelope e =
+        List.mem e.Obs.name worker_names
+        || List.mem e.Obs.name fanout_names
+        || e.Obs.name = "replay.run"
+      in
+      let lo = ref max_int and hi = ref min_int in
+      Array.iter
+        (fun e ->
+          if in_envelope e then begin
+            if e.Obs.ts_ns < !lo then lo := e.Obs.ts_ns;
+            let e_end = e.Obs.ts_ns + e.Obs.dur_ns in
+            if e_end > !hi then hi := e_end
+          end)
+        spans;
+      let win_lo = !lo and win_hi = !hi in
+      let wall = max 1 (win_hi - win_lo) in
+      (* Per-domain busy intervals, overlaps merged (nested worker
+         spans — a classify inside a pass — must not double-count). *)
+      let by_dom : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter
+        (fun e ->
+          let iv = (e.Obs.ts_ns, e.Obs.ts_ns + e.Obs.dur_ns) in
+          match Hashtbl.find_opt by_dom e.Obs.dom with
+          | Some r -> r := iv :: !r
+          | None -> Hashtbl.add by_dom e.Obs.dom (ref [ iv ]))
+        workers;
+      let doms =
+        Hashtbl.fold (fun d _ acc -> d :: acc) by_dom [] |> List.sort compare
+      in
+      let ndom = List.length doms in
+      let merged_of d =
+        let ivs = List.sort compare !(Hashtbl.find by_dom d) in
+        let rec merge = function
+          | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 ->
+            merge ((a1, max b1 b2) :: rest)
+          | iv :: rest -> iv :: merge rest
+          | [] -> []
+        in
+        merge ivs
+      in
+      let merged = List.map merged_of doms in
+      let busy =
+        List.fold_left
+          (fun acc ivs ->
+            List.fold_left (fun acc (a, b) -> acc + (b - a)) acc ivs)
+          0 merged
+      in
+      (* Concurrency sweep: +1/-1 edges, time spent with exactly k
+         domains busy, clamped to the envelope. *)
+      let edges =
+        List.concat_map
+          (fun ivs ->
+            List.concat_map (fun (a, b) -> [ (a, 1); (b, -1) ]) ivs)
+          merged
+        |> List.sort compare
+      in
+      let conc = Array.make (ndom + 1) 0 in
+      let cur = ref 0 and t = ref win_lo in
+      List.iter
+        (fun (ts, d) ->
+          let ts = max win_lo (min win_hi ts) in
+          if ts > !t then conc.(min ndom !cur) <- conc.(min ndom !cur) + (ts - !t);
+          t := ts;
+          cur := !cur + d)
+        edges;
+      if win_hi > !t then conc.(0) <- conc.(0) + (win_hi - !t);
+      let serial_ns = conc.(0) + (if ndom > 0 then conc.(1) else 0) in
+      let serial_fraction = float_of_int serial_ns /. float_of_int wall in
+      (* Levels: fan-out parents joined to their shards on the shared
+         [batch] arg. *)
+      let shards_by_batch : (string * int, shard list ref) Hashtbl.t =
+        Hashtbl.create 32
+      in
+      Array.iter
+        (fun e ->
+          match int_arg "batch" e with
+          | None -> ()
+          | Some b ->
+            let sh =
+              {
+                sh_dom = e.Obs.dom;
+                sh_slot = Option.value ~default:(-1) (int_arg "slot" e);
+                sh_start_ns = e.Obs.ts_ns;
+                sh_dur_ns = e.Obs.dur_ns;
+              }
+            in
+            let key = ("shard", b) in
+            (match Hashtbl.find_opt shards_by_batch key with
+             | Some r -> r := sh :: !r
+             | None -> Hashtbl.add shards_by_batch key (ref [ sh ])))
+        workers;
+      let levels =
+        Array.to_list spans
+        |> List.filter_map (fun e ->
+               if not (List.mem e.Obs.name fanout_names) then None
+               else
+                 match int_arg "batch" e with
+                 | None -> None
+                 | Some b ->
+                   let shards =
+                     match Hashtbl.find_opt shards_by_batch ("shard", b) with
+                     | Some r ->
+                       List.sort
+                         (fun a b -> compare (a.sh_slot, a.sh_dom) (b.sh_slot, b.sh_dom))
+                         !r
+                     | None -> []
+                   in
+                   if shards = [] then None
+                   else begin
+                     let last_end =
+                       List.fold_left
+                         (fun acc s -> max acc (s.sh_start_ns + s.sh_dur_ns))
+                         min_int shards
+                     in
+                     let durs = List.map (fun s -> s.sh_dur_ns) shards in
+                     let maxd = List.fold_left max 0 durs in
+                     let sum = List.fold_left ( + ) 0 durs in
+                     let mean =
+                       float_of_int sum /. float_of_int (List.length durs)
+                     in
+                     let barrier =
+                       List.fold_left
+                         (fun acc s ->
+                           acc + (last_end - (s.sh_start_ns + s.sh_dur_ns)))
+                         0 shards
+                     in
+                     Some
+                       {
+                         lv_name = e.Obs.name;
+                         lv_batch = b;
+                         lv_sources =
+                           Option.value ~default:0 (int_arg "sources" e);
+                         lv_wall_ns = e.Obs.dur_ns;
+                         lv_merge_ns =
+                           max 0 (e.Obs.ts_ns + e.Obs.dur_ns - last_end);
+                         lv_barrier_ns = barrier;
+                         lv_imbalance =
+                           (if mean <= 0. then 1.
+                            else float_of_int maxd /. mean);
+                         lv_shards = shards;
+                       }
+                   end)
+        |> List.sort (fun a b -> compare a.lv_batch b.lv_batch)
+      in
+      (* Attribution of the serial fraction.  Merge tails and barrier
+         waits are measured; the remainder of the non-parallel time is
+         work outside the fan-out levels (warm-up, setup). *)
+      let merge_total = List.fold_left (fun a l -> a + l.lv_merge_ns) 0 levels in
+      let barrier_total =
+        List.fold_left (fun a l -> a + l.lv_barrier_ns) 0 levels
+      in
+      let pct x = 100. *. float_of_int x /. float_of_int wall in
+      let diagnosis =
+        if ndom <= 1 then
+          "single-domain trace: no parallel section to diagnose"
+        else begin
+          let culprits =
+            List.filter
+              (fun (_, v) -> v > 0.01)
+              [
+                ( "batch-synchronous merge (serial tail after the last \
+                   shard)",
+                  pct merge_total /. 100. );
+                ("barrier wait (shard imbalance)",
+                 pct barrier_total /. 100. /. float_of_int ndom);
+              ]
+            |> List.sort (fun (_, a) (_, b) -> compare b a)
+          in
+          let head =
+            Printf.sprintf
+              "utilization %.1f%%, serial fraction %.2f (Amdahl-limited to \
+               %.2fx at %d domains)"
+              (100. *. float_of_int busy /. float_of_int (ndom * wall))
+              serial_fraction
+              (1. /. (serial_fraction +. ((1. -. serial_fraction) /. float_of_int ndom)))
+              ndom
+          in
+          match culprits with
+          | [] -> head
+          | (c, v) :: _ ->
+            Printf.sprintf "%s; dominant serial cost: %s at %.1f%% of the \
+                            parallel wall" head c (100. *. v)
+        end
+      in
+      Some
+        {
+          par_domains = ndom;
+          par_wall_ns = wall;
+          par_busy_ns = busy;
+          par_utilization =
+            float_of_int busy /. float_of_int (max 1 (ndom * wall));
+          par_serial_fraction = serial_fraction;
+          par_concurrency = Array.to_list (Array.mapi (fun k v -> (k, v)) conc);
+          par_levels = levels;
+          par_diagnosis = diagnosis;
+        }
+    end
+  in
+  {
+    p_events = Array.length all;
+    p_wall_ns = wall_ns;
+    p_spans = stats;
+    p_folded = folded;
+    p_parallel = parallel;
+    p_counters = counters;
+  }
+
+let of_tracer t = of_events ~counters:(Obs.counters t) (Obs.events t)
+
+(* ------------------------------------------------------------------ *)
+(* Trace files                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_trace path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error m -> Error m
+  | s ->
+    if Filename.check_suffix path ".jsonl" then
+      Ok
+        (String.split_on_char '\n' s
+        |> List.filter_map (fun line ->
+               if String.trim line = "" then None else Obs.decode_event line))
+    else begin
+      match Json.parse s with
+      | Error m -> Error (path ^ ": " ^ m)
+      | Ok j -> (
+        match Option.bind (Json.member "traceEvents" j) Json.to_list with
+        | None -> Error (path ^ ": no traceEvents array")
+        | Some evs -> Ok (List.filter_map Obs.event_of_json evs))
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ns_s ns = float_of_int ns /. 1e9
+
+let json_of_span ?(normalize = false) (s : span_stat) =
+  if normalize then
+    Json.Obj
+      [
+        ("cat", Json.Str s.s_cat);
+        ("name", Json.Str s.s_name);
+        ("count", Json.Int s.s_count);
+      ]
+  else
+    Json.Obj
+      [
+        ("cat", Json.Str s.s_cat);
+        ("name", Json.Str s.s_name);
+        ("count", Json.Int s.s_count);
+        ("total_s", Json.Float (ns_s s.s_total_ns));
+        ("self_s", Json.Float (ns_s s.s_self_ns));
+        ("min_s", Json.Float (ns_s s.s_min_ns));
+        ("p50_s", Json.Float (ns_s s.s_p50_ns));
+        ("p95_s", Json.Float (ns_s s.s_p95_ns));
+        ("max_s", Json.Float (ns_s s.s_max_ns));
+        ("alloc_words", Json.Int s.s_alloc_w);
+        ( "by_domain",
+          Json.Obj
+            (List.map
+               (fun (d, ns) -> (string_of_int d, Json.Float (ns_s ns)))
+               s.s_by_dom) );
+      ]
+
+let json_of_level (l : level) =
+  Json.Obj
+    [
+      ("name", Json.Str l.lv_name);
+      ("batch", Json.Int l.lv_batch);
+      ("sources", Json.Int l.lv_sources);
+      ("wall_s", Json.Float (ns_s l.lv_wall_ns));
+      ("merge_s", Json.Float (ns_s l.lv_merge_ns));
+      ("barrier_wait_s", Json.Float (ns_s l.lv_barrier_ns));
+      ("imbalance", Json.Float l.lv_imbalance);
+      ( "shards",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("dom", Json.Int s.sh_dom);
+                   ("slot", Json.Int s.sh_slot);
+                   ("busy_s", Json.Float (ns_s s.sh_dur_ns));
+                 ])
+             l.lv_shards) );
+    ]
+
+let json_of_parallel (p : parallel) =
+  Json.Obj
+    [
+      ("domains", Json.Int p.par_domains);
+      ("wall_s", Json.Float (ns_s p.par_wall_ns));
+      ("busy_s", Json.Float (ns_s p.par_busy_ns));
+      ("utilization", Json.Float p.par_utilization);
+      ("serial_fraction", Json.Float p.par_serial_fraction);
+      ( "concurrency_s",
+        Json.Obj
+          (List.map
+             (fun (k, ns) -> (string_of_int k, Json.Float (ns_s ns)))
+             p.par_concurrency) );
+      ("levels", Json.List (List.map json_of_level p.par_levels));
+      ("diagnosis", Json.Str p.par_diagnosis);
+    ]
+
+let to_json_value ?(normalize = false) t =
+  let spans =
+    let ss =
+      if normalize then
+        List.sort
+          (fun a b -> compare (a.s_cat, a.s_name) (b.s_cat, b.s_name))
+          t.p_spans
+      else t.p_spans
+    in
+    Json.List (List.map (json_of_span ~normalize) ss)
+  in
+  let fields =
+    if normalize then [ ("spans", spans) ]
+    else
+      [
+        ("events", Json.Int t.p_events);
+        ("wall_s", Json.Float (ns_s t.p_wall_ns));
+        ("spans", spans);
+        ( "parallel",
+          match t.p_parallel with
+          | None -> Json.Null
+          | Some p -> json_of_parallel p );
+        ( "counters",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.p_counters) );
+      ]
+  in
+  Json.Obj fields
+
+let to_json ?normalize t = Json.to_string_pretty (to_json_value ?normalize t)
+
+let folded_string t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (stack, ns) ->
+      Buffer.add_string buf stack;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int ns);
+      Buffer.add_char buf '\n')
+    t.p_folded;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Flame view                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Static icicle layout built from the folded stacks: a node's box is
+   sized by its total (self + descendants); the unfilled width inside
+   a box is its self time.  Pure HTML/CSS, no script. *)
+
+type node = {
+  mutable total : int;
+  mutable kids : (string * node) list;  (* insertion order *)
+}
+
+let fresh () = { total = 0; kids = [] }
+
+let insert root path v =
+  let rec go node = function
+    | [] -> ()
+    | frame :: rest ->
+      let child =
+        match List.assoc_opt frame node.kids with
+        | Some c -> c
+        | None ->
+          let c = fresh () in
+          node.kids <- node.kids @ [ (frame, c) ];
+          c
+      in
+      child.total <- child.total + v;
+      go child rest
+  in
+  root.total <- root.total + v;
+  go root path
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let flame_style =
+  {|.flame{font:11px ui-monospace,Menlo,monospace;width:100%}
+.flame .row{display:flex;width:100%}
+.flame .node{overflow:hidden;min-width:1px}
+.flame .cell{border:1px solid #fff;border-radius:2px;padding:0 3px;
+white-space:nowrap;overflow:hidden;text-overflow:ellipsis;cursor:default}|}
+
+let frame_color name =
+  (* Stable pastel per frame name. *)
+  let h = Hashtbl.hash name mod 360 in
+  Printf.sprintf "hsl(%d,65%%,78%%)" h
+
+let flame_div t =
+  let root = fresh () in
+  List.iter
+    (fun (stack, v) -> insert root (String.split_on_char ';' stack) v)
+    t.p_folded;
+  let buf = Buffer.create 4096 in
+  let rec render name node parent_total =
+    let pctf =
+      100. *. float_of_int node.total /. float_of_int (max 1 parent_total)
+    in
+    if pctf >= 0.1 then begin
+      Buffer.add_string buf
+        (Printf.sprintf "<div class=\"node\" style=\"width:%.2f%%\">" pctf);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<div class=\"cell\" style=\"background:%s\" title=\"%s %.3f ms\">%s</div>"
+           (frame_color name)
+           (html_escape name)
+           (float_of_int node.total /. 1e6)
+           (html_escape name));
+      if node.kids <> [] then begin
+        Buffer.add_string buf "<div class=\"row\">";
+        List.iter (fun (n, c) -> render n c node.total) node.kids;
+        Buffer.add_string buf "</div>"
+      end;
+      Buffer.add_string buf "</div>"
+    end
+  in
+  Buffer.add_string buf "<div class=\"flame\"><div class=\"row\">";
+  List.iter (fun (n, c) -> render n c root.total) root.kids;
+  Buffer.add_string buf "</div></div>";
+  Buffer.contents buf
+
+let flame_html t =
+  Printf.sprintf
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>avp \
+     flame</title>\n<style>body{margin:1rem}%s</style></head><body>\n\
+     <p style=\"font:12px ui-monospace,Menlo,monospace\">avp profile — %d \
+     events, wall %.3f s; box width = total time, hover for \
+     milliseconds</p>\n%s</body></html>\n"
+    flame_style t.p_events (ns_s t.p_wall_ns) (flame_div t)
+
+(* ------------------------------------------------------------------ *)
+(* Text report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pp ppf t =
+  Format.fprintf ppf "profile: %d events, wall %.3fs@." t.p_events
+    (ns_s t.p_wall_ns);
+  Format.fprintf ppf
+    "  %-22s %7s %10s %10s %9s %9s %9s %10s@."
+    "span" "count" "total" "self" "p50" "p95" "max" "alloc(w)";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "  %-22s %7d %9.3fs %9.3fs %8.3fms %8.3fms %8.3fms %10d@."
+        (label s.s_cat s.s_name) s.s_count (ns_s s.s_total_ns)
+        (ns_s s.s_self_ns)
+        (float_of_int s.s_p50_ns /. 1e6)
+        (float_of_int s.s_p95_ns /. 1e6)
+        (float_of_int s.s_max_ns /. 1e6)
+        s.s_alloc_w)
+    t.p_spans;
+  (match t.p_counters with
+   | [] -> ()
+   | cs ->
+     Format.fprintf ppf "counters:@.";
+     List.iter (fun (k, v) -> Format.fprintf ppf "  %-28s %d@." k v) cs);
+  match t.p_parallel with
+  | None -> ()
+  | Some p ->
+    Format.fprintf ppf
+      "parallel: %d domains, wall %.3fs, busy %.3fs, utilization %.1f%%@."
+      p.par_domains (ns_s p.par_wall_ns) (ns_s p.par_busy_ns)
+      (100. *. p.par_utilization);
+    Format.fprintf ppf "  serial fraction (<=1 domain busy): %.2f@."
+      p.par_serial_fraction;
+    Format.fprintf ppf "  concurrency:";
+    List.iter
+      (fun (k, ns) ->
+        if ns > 0 then
+          Format.fprintf ppf " %d-busy %.1f%%" k
+            (100. *. float_of_int ns /. float_of_int p.par_wall_ns))
+      p.par_concurrency;
+    Format.fprintf ppf "@.";
+    let shown = ref 0 in
+    List.iter
+      (fun l ->
+        if !shown < 12 then begin
+          incr shown;
+          Format.fprintf ppf
+            "  level %s#%d: %d sources, wall %.3fms, imbalance %.2f, \
+             barrier %.3fms, merge %.3fms (%d shards)@."
+            l.lv_name l.lv_batch l.lv_sources
+            (float_of_int l.lv_wall_ns /. 1e6)
+            l.lv_imbalance
+            (float_of_int l.lv_barrier_ns /. 1e6)
+            (float_of_int l.lv_merge_ns /. 1e6)
+            (List.length l.lv_shards)
+        end)
+      p.par_levels;
+    if List.length p.par_levels > !shown then
+      Format.fprintf ppf "  ... %d more levels@."
+        (List.length p.par_levels - !shown);
+    Format.fprintf ppf "  diagnosis: %s@." p.par_diagnosis

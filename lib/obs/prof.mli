@@ -1,0 +1,129 @@
+(** Offline + in-process analyzer over the Obs event stream: turns raw
+    spans into performance facts.
+
+    Three views over one event list:
+
+    - {b span aggregation} — per (category, name) label: call count,
+      total and self time (children's time attributed away using the
+      per-domain tick nesting), exact p50/p95/max from the recorded
+      durations, allocation totals when the tracer sampled them, and a
+      per-domain busy breakdown;
+    - {b folded stacks} — the per-domain nesting chains collapsed to
+      [dom0;parent;child self_ns] lines (the inferno / speedscope /
+      flamegraph.pl input format) plus a self-contained static HTML
+      flame view;
+    - {b parallel efficiency} — per-domain busy/idle timelines
+      reconstructed from the worker spans ([enum.shard],
+      [replay.trace], [mutate.classify], [mutate.pass], [fuzz.exec]),
+      reported as utilization, a concurrency histogram (how long
+      exactly [k] domains were busy), an Amdahl-style serial-fraction
+      estimate, and per-BFS-level barrier-wait / work-imbalance where
+      parent batch spans link to their shards.
+
+    Everything is computed from the events alone, so the same analysis
+    runs in-process (behind [--profile]) and offline over a [--trace]
+    capture ([avp profile]). *)
+
+type span_stat = {
+  s_cat : string;
+  s_name : string;
+  s_count : int;
+  s_total_ns : int;
+  s_self_ns : int;  (** total minus time in directly nested spans *)
+  s_min_ns : int;
+  s_p50_ns : int;
+  s_p95_ns : int;
+  s_max_ns : int;
+  s_alloc_w : int;  (** summed [alloc_w] args; 0 unless GC-sampled *)
+  s_by_dom : (int * int) list;  (** domain id -> busy ns, sorted *)
+}
+
+type shard = {
+  sh_dom : int;
+  sh_slot : int;  (** pool slot from the span's [slot] arg, -1 if none *)
+  sh_start_ns : int;
+  sh_dur_ns : int;
+}
+
+(** One batch-synchronous BFS level: a parent span (e.g. [enum.batch])
+    and the per-domain shard spans that carry its [batch] id. *)
+type level = {
+  lv_name : string;
+  lv_batch : int;  (** the shared [batch] arg value *)
+  lv_sources : int;
+  lv_wall_ns : int;  (** parent span duration *)
+  lv_merge_ns : int;  (** parent end minus last shard end: the serial
+                          merge + dispatch tail *)
+  lv_barrier_ns : int;  (** summed per-shard wait for the slowest
+                            shard (the barrier) *)
+  lv_imbalance : float;  (** max shard time / mean shard time *)
+  lv_shards : shard list;
+}
+
+type parallel = {
+  par_domains : int;  (** distinct domains with worker spans *)
+  par_wall_ns : int;  (** envelope of the parallel section *)
+  par_busy_ns : int;  (** summed worker busy time across domains *)
+  par_utilization : float;  (** busy / (domains * wall) *)
+  par_serial_fraction : float;
+      (** fraction of wall with at most one domain busy — the
+          Amdahl-style serial-fraction estimate *)
+  par_concurrency : (int * int) list;
+      (** exactly-k-domains-busy -> ns, k = 0 .. domains *)
+  par_levels : level list;
+  par_diagnosis : string;
+      (** machine-generated attribution of the serial fraction
+          (merge tails, barrier waits, time outside the levels) *)
+}
+
+type t = {
+  p_events : int;
+  p_wall_ns : int;  (** envelope of every event in the trace *)
+  p_spans : span_stat list;  (** sorted by self time, descending *)
+  p_folded : (string * int) list;
+      (** collapsed stacks, lexicographic, self ns (clamped >= 0) *)
+  p_parallel : parallel option;  (** present when worker spans exist *)
+  p_counters : (string * int) list;
+      (** merged Obs counters; in-process only (a trace file does not
+          carry them) *)
+}
+
+val of_events : ?counters:(string * int) list -> Obs.event list -> t
+
+val of_tracer : Obs.t -> t
+(** [of_events] over the tracer's merged events and counters. *)
+
+val read_trace : string -> (Obs.event list, string) result
+(** Load a trace written by [Obs.write_trace]: JSON-lines when the
+    path ends in [.jsonl], Chrome trace JSON otherwise.  Derived flow
+    events and any foreign entries are skipped. *)
+
+val to_json : ?normalize:bool -> t -> string
+(** Deterministic pretty JSON.  [~normalize:true] keeps only the
+    run-invariant skeleton — per-label event counts, no times, no
+    domains — which is byte-identical across [-j] for work whose span
+    set is deterministic (replay, mutation, fuzzing). *)
+
+val to_json_value : ?normalize:bool -> t -> Json.t
+(** The same document as {!to_json}, unserialized — for embedding in a
+    larger report. *)
+
+val folded_string : t -> string
+(** The collapsed stacks, one [stack self_ns] line each — feed to
+    inferno, speedscope or flamegraph.pl. *)
+
+val flame_html : t -> string
+(** Self-contained static HTML flame (icicle) view of the folded
+    stacks; every span box is sized by its total time. *)
+
+val flame_style : string
+(** The CSS the flame fragment needs — include once per page. *)
+
+val flame_div : t -> string
+(** The flame view as an embeddable [<div>] fragment (no document
+    shell); pair with {!flame_style}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable report: top spans by self time, then the
+    parallel-efficiency section with per-level barrier/imbalance
+    rows and the diagnosis line. *)

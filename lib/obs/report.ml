@@ -97,6 +97,8 @@ type t = {
   replay : replay_section option;
   mutation : mutation_section option;
   fuzz : fuzz_section option;
+  profile : Prof.t option;
+  history : Json.t list;
   tables : table list;
   bench : (string * Json.t) list;
   notes : string list;
@@ -112,6 +114,8 @@ let empty ~title ~design =
     replay = None;
     mutation = None;
     fuzz = None;
+    profile = None;
+    history = [];
     tables = [];
     bench = [];
     notes = [];
@@ -125,6 +129,26 @@ let bench_files =
     "BENCH_enum.json"; "BENCH_sim.json"; "BENCH_mutation.json";
     "BENCH_fuzz.json";
   ]
+
+(* Embed the committed bench history (one parsed record per line) so
+   the report carries the regression trail next to the live numbers. *)
+let load_history ?(path = "BENCH_HISTORY.jsonl") t =
+  if not (Sys.file_exists path) then t
+  else begin
+    let ic = open_in path in
+    let out = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" then
+           match Json.parse line with
+           | Ok j -> out := j :: !out
+           | Error _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    { t with history = List.rev !out }
+  end
 
 let load_bench ?(dir = ".") t =
   let loaded =
@@ -259,6 +283,8 @@ let to_json_value t =
       ("replay", opt json_of_replay t.replay);
       ("mutation", opt json_of_mutation t.mutation);
       ("fuzz", opt json_of_fuzz t.fuzz);
+      ("profile", opt (fun p -> Prof.to_json_value p) t.profile);
+      ("history", Json.List t.history);
       ("tables", Json.List (List.map json_of_table t.tables));
       ("bench", Json.Obj t.bench);
       ("notes", Json.List (List.map (fun n -> Json.Str n) t.notes));
@@ -329,8 +355,8 @@ let to_html t =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf
     (Printf.sprintf
-       "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>%s</title>\n<style>%s</style></head><body>\n"
-       (html_escape t.title) style);
+       "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>%s</title>\n<style>%s\n%s</style></head><body>\n"
+       (html_escape t.title) style Prof.flame_style);
   Buffer.add_string buf
     (Printf.sprintf "<h1>%s</h1>\n<p class=\"note\">design: %s</p>\n"
        (html_escape t.title) (html_escape t.design));
@@ -460,6 +486,92 @@ let to_html t =
                  Printf.sprintf "%.1f" m.fz_mean_v2k;
                ])
              f.fz_methods;
+       });
+  (match t.profile with
+   | None -> ()
+   | Some p ->
+     let ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6) in
+     let top =
+       List.filteri (fun i _ -> i < 15) p.Prof.p_spans
+     in
+     html_table buf
+       {
+         table_title =
+           Printf.sprintf "Profile — top spans by self time (%d events, \
+                           wall %.3f s)"
+             p.Prof.p_events
+             (float_of_int p.Prof.p_wall_ns /. 1e9);
+         header = [ "span"; "count"; "total ms"; "self ms"; "p95 ms" ];
+         rows =
+           List.map
+             (fun (s : Prof.span_stat) ->
+               [
+                 s.Prof.s_name;
+                 string_of_int s.Prof.s_count;
+                 ms s.Prof.s_total_ns;
+                 ms s.Prof.s_self_ns;
+                 ms s.Prof.s_p95_ns;
+               ])
+             top;
+       };
+     (match p.Prof.p_parallel with
+      | None -> ()
+      | Some par ->
+        Buffer.add_string buf "<h2>Parallel efficiency</h2>\n<table>\n";
+        Buffer.add_string buf
+          (Printf.sprintf "<tr><td>domains</td><td>%d</td><td></td></tr>\n"
+             par.Prof.par_domains);
+        Buffer.add_string buf
+          (Printf.sprintf "<tr><td>utilization</td><td></td><td>%s</td></tr>\n"
+             (bar par.Prof.par_utilization));
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td>serial fraction</td><td></td><td>%s</td></tr>\n"
+             (bar par.Prof.par_serial_fraction));
+        Buffer.add_string buf "</table>\n";
+        Buffer.add_string buf
+          (Printf.sprintf "<p class=\"note\">%s</p>\n"
+             (html_escape par.Prof.par_diagnosis)));
+     Buffer.add_string buf "<h2>Flame view</h2>\n";
+     Buffer.add_string buf (Prof.flame_div p));
+  (match t.history with
+   | [] -> ()
+   | records ->
+     let str k j =
+       match Option.bind (Json.member k j) Json.to_str with
+       | Some s -> s
+       | None -> ""
+     in
+     let int k j =
+       match Option.bind (Json.member k j) Json.to_int with
+       | Some i -> string_of_int i
+       | None -> ""
+     in
+     let metrics j =
+       match Json.member "metrics" j with
+       | Some (Json.Obj ms) ->
+         String.concat ", "
+           (List.map
+              (fun (k, v) ->
+                match v with
+                | Json.Float f -> Printf.sprintf "%s=%.4g" k f
+                | Json.Int i -> Printf.sprintf "%s=%d" k i
+                | _ -> k)
+              ms)
+       | _ -> ""
+     in
+     html_table buf
+       {
+         table_title = "Bench history";
+         header = [ "bench"; "preset"; "git rev"; "cores"; "metrics" ];
+         rows =
+           List.map
+             (fun j ->
+               [
+                 str "bench" j; str "preset" j; str "git_rev" j;
+                 int "cores" j; metrics j;
+               ])
+             records;
        });
   List.iter (fun tb -> html_table buf tb) t.tables;
   List.iter

@@ -96,6 +96,8 @@ type t = {
   replay : replay_section option;
   mutation : mutation_section option;
   fuzz : fuzz_section option;
+  profile : Prof.t option;  (** span analytics + flame view *)
+  history : Json.t list;  (** parsed BENCH_HISTORY.jsonl records *)
   tables : table list;
   bench : (string * Json.t) list;
   notes : string list;
@@ -104,6 +106,11 @@ type t = {
 val empty : title:string -> design:string -> t
 val add_table : t -> table -> t
 val add_note : t -> string -> t
+
+val load_history : ?path:string -> t -> t
+(** Embed the committed bench history (default
+    ["BENCH_HISTORY.jsonl"], skipped when absent) as a table in the
+    report. *)
 
 val load_bench : ?dir:string -> t -> t
 (** Embed any committed BENCH_*.json snapshots found in [dir]

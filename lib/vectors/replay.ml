@@ -76,6 +76,14 @@ let effective_domains ~parallel_threshold ~domains ~total_cycles =
 
 let sharded ?progress ~domains ~n run =
   let results = Array.make n (0, None) in
+  (* The parent span covers dispatch, the shards and the scan — the
+     profiler's envelope for replay's serial fraction.  Its args (and
+     the constant flow id linking it to the per-trace spans in the
+     Chrome viewer) must not depend on [domains], or the normalized
+     trace would stop being [-j]-invariant. *)
+  Obs.span ~cat:"replay" "replay.run"
+    ~args:[ ("traces", Obs.Int n); ("flow_out", Obs.Int 0) ]
+  @@ fun () ->
   (* Telemetry is per trace, not per cycle, and its args (trace index,
      cycles, verdict) are the deterministic replay results — so the
      normalized event set is identical for any [domains]. *)
@@ -90,6 +98,7 @@ let sharded ?progress ~domains ~n run =
             ("trace", Obs.Int ti);
             ("cycles", Obs.Int c);
             ("ok", Obs.Bool (Option.is_none m));
+            ("flow_in", Obs.Int 0);
           ];
     (match progress with
      | Some p -> Avp_obs.Progress.tick p

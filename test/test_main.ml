@@ -24,6 +24,7 @@ let () =
       ("absint", Test_absint.suite);
       ("pp2", Test_pp2.suite);
       ("obs", Test_obs.suite);
+      ("prof", Test_prof.suite);
       ("fuzz", Test_fuzz.suite);
       ("campaign3", Test_campaign3.suite);
     ]

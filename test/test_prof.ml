@@ -1,0 +1,242 @@
+(* Profiler tests: self-time conservation over random span forests
+   (qcheck), a golden folded-stack, -j invariance of the normalized
+   profile JSON, the parallel-efficiency analyzer on a synthetic
+   two-domain trace, and the GC counters behind the profiling gate. *)
+
+module Obs = Avp_obs.Obs
+module Prof = Avp_obs.Prof
+
+(* Synthetic span with consistent ticks and timestamps: ticks default
+   to the nanosecond interval so nesting follows the timeline. *)
+let span ?(cat = "") ?(dom = 0) ?(args = []) ?o ?c ~ts ~dur name =
+  {
+    Obs.name;
+    cat;
+    ph = Obs.Span;
+    ts_ns = ts;
+    dur_ns = dur;
+    dom;
+    depth = 0;
+    o = Option.value ~default:ts o;
+    c = Option.value ~default:(ts + dur) c;
+    args;
+  }
+
+(* {2 Golden folded stacks} *)
+
+let test_folded_golden () =
+  let evs =
+    [
+      span ~ts:0 ~dur:100 "outer";
+      span ~ts:10 ~dur:20 "inner";
+      span ~dom:1 ~ts:0 ~dur:50 "other";
+    ]
+  in
+  let prof = Prof.of_events evs in
+  Alcotest.(check string) "folded"
+    "dom0;outer 80\ndom0;outer;inner 20\ndom1;other 50\n"
+    (Prof.folded_string prof);
+  let outer = List.find (fun s -> s.Prof.s_name = "outer") prof.Prof.p_spans in
+  Alcotest.(check int) "outer total" 100 outer.Prof.s_total_ns;
+  Alcotest.(check int) "outer self" 80 outer.Prof.s_self_ns;
+  Alcotest.(check int) "wall" 100 prof.Prof.p_wall_ns;
+  Alcotest.(check bool) "flame fragment renders" true
+    (String.length (Prof.flame_div prof) > 0)
+
+(* Retrospective point-tick spans (o = c, the [Obs.complete] shape —
+   an enum.run emitted after its levels) carry no tick nesting, but
+   nest by temporal containment: the run parents the levels, self
+   time is not double-counted. *)
+let test_point_span_nesting () =
+  let evs =
+    [
+      span ~cat:"enum" ~ts:0 ~dur:100 ~o:9 ~c:9 "enum.run";
+      span ~cat:"enum" ~ts:0 ~dur:40 ~o:1 ~c:1 "enum.level";
+      span ~cat:"enum" ~ts:45 ~dur:50 ~o:2 ~c:2 "enum.level";
+    ]
+  in
+  let prof = Prof.of_events evs in
+  let run = List.find (fun s -> s.Prof.s_name = "enum.run") prof.Prof.p_spans in
+  let lvl =
+    List.find (fun s -> s.Prof.s_name = "enum.level") prof.Prof.p_spans
+  in
+  Alcotest.(check int) "run self = wall minus levels" 10 run.Prof.s_self_ns;
+  Alcotest.(check int) "levels keep their self" 90 lvl.Prof.s_self_ns;
+  Alcotest.(check string) "folded nests levels under run"
+    "dom0;enum.run 10\ndom0;enum.run;enum.level 90\n"
+    (Prof.folded_string prof)
+
+(* {2 Self-time conservation} *)
+
+(* Random well-nested forests: spans strictly inside their parent's
+   tick interval, siblings disjoint.  Returns the events plus the
+   total duration of the roots — self time distributes the roots'
+   time among the tree without inventing or losing any. *)
+let rec gen_forest ~dom ~lo ~hi ~depth st =
+  if hi - lo < 4 || depth > 4 || QCheck.Gen.int_bound 3 st = 0 then ([], 0)
+  else begin
+    let a = QCheck.Gen.int_range lo (hi - 4) st in
+    let b = QCheck.Gen.int_range (a + 3) hi st in
+    let name = [| "alpha"; "beta"; "gamma" |].(QCheck.Gen.int_bound 2 st) in
+    let kids, _ = gen_forest ~dom ~lo:(a + 1) ~hi:(b - 1) ~depth:(depth + 1) st in
+    let rest, rest_total =
+      if b + 1 >= hi then ([], 0)
+      else gen_forest ~dom ~lo:(b + 1) ~hi ~depth st
+    in
+    (span ~dom ~ts:a ~dur:(b - a) name :: (kids @ rest), (b - a) + rest_total)
+  end
+
+let forest_gen st =
+  let evs0, total0 = gen_forest ~dom:0 ~lo:0 ~hi:1000 ~depth:0 st in
+  let evs1, total1 = gen_forest ~dom:1 ~lo:0 ~hi:1000 ~depth:0 st in
+  (evs0 @ evs1, total0 + total1)
+
+let forest_arb =
+  QCheck.make
+    ~print:(fun (evs, total) ->
+      Printf.sprintf "%d spans, root total %d" (List.length evs) total)
+    forest_gen
+
+let test_self_conservation =
+  QCheck.Test.make ~name:"self time sums to the roots' total" ~count:200
+    forest_arb (fun (evs, root_total) ->
+      let prof = Prof.of_events evs in
+      let self_sum =
+        List.fold_left (fun a s -> a + s.Prof.s_self_ns) 0 prof.Prof.p_spans
+      in
+      let folded_sum =
+        List.fold_left (fun a (_, v) -> a + v) 0 prof.Prof.p_folded
+      in
+      self_sum = root_total && folded_sum = root_total)
+
+(* {2 -j invariance of the normalized profile} *)
+
+let handshake_src =
+  {|
+module handshake (clk, rst, req, ack);
+  input clk, rst;
+  input req; // avp free
+  output ack;
+  reg [1:0] state; // avp state
+  // avp clock clk
+  // avp reset rst
+  always @(posedge clk) begin
+    if (rst) state <= 2'b00;
+    else begin
+      case (state)
+        2'b00: if (req) state <= 2'b01;
+        2'b01: state <= 2'b10;
+        2'b10: if (!req) state <= 2'b00;
+        default: state <= 2'b00;
+      endcase
+    end
+  end
+  assign ack = state == 2'b10;
+endmodule
+|}
+
+let test_normalized_profile_invariance () =
+  let design = Avp_hdl.Elab.elaborate (Avp_hdl.Parser.parse handshake_src) in
+  let tr = Avp_fsm.Translate.translate design in
+  let graph = Avp_enum.State_graph.enumerate tr.Avp_fsm.Translate.model in
+  let tours = Avp_tour.Tour_gen.generate graph in
+  let profiled domains =
+    let t = Obs.create () in
+    Obs.with_tracer t (fun () ->
+        match Avp_vectors.Replay.check ~domains tr graph tours with
+        | Ok _ -> ()
+        | Error m ->
+          Alcotest.failf "replay mismatch: %a" Avp_vectors.Replay.pp_mismatch
+            m);
+    Prof.to_json ~normalize:true (Prof.of_tracer t)
+  in
+  let j1 = profiled 1 and j2 = profiled 2 and j4 = profiled 4 in
+  Alcotest.(check bool) "profile non-empty" true (String.length j1 > 0);
+  Alcotest.(check string) "j1 = j2" j1 j2;
+  Alcotest.(check string) "j1 = j4" j1 j4
+
+(* {2 Parallel-efficiency analyzer} *)
+
+let test_parallel_analysis () =
+  (* One enum level on two domains: dom 0 works 0-40, dom 1 works
+     0-80, the parent batch span runs 0-110 (30 ns serial merge tail
+     after the last shard).  Complete-style events: point ticks. *)
+  let evs =
+    [
+      span ~cat:"enum" ~o:10 ~c:10 ~ts:0 ~dur:110 "enum.batch"
+        ~args:[ ("batch", Obs.Int 0); ("sources", Obs.Int 5) ];
+      span ~cat:"enum" ~o:8 ~c:8 ~ts:0 ~dur:40 "enum.shard"
+        ~args:[ ("batch", Obs.Int 0); ("slot", Obs.Int 0) ];
+      span ~cat:"enum" ~dom:1 ~o:8 ~c:8 ~ts:0 ~dur:80 "enum.shard"
+        ~args:[ ("batch", Obs.Int 0); ("slot", Obs.Int 1) ];
+    ]
+  in
+  let prof = Prof.of_events evs in
+  match prof.Prof.p_parallel with
+  | None -> Alcotest.fail "expected a parallel section"
+  | Some par ->
+    Alcotest.(check int) "domains" 2 par.Prof.par_domains;
+    Alcotest.(check int) "wall" 110 par.Prof.par_wall_ns;
+    Alcotest.(check int) "busy" 120 par.Prof.par_busy_ns;
+    Alcotest.(check (float 1e-9)) "utilization" (120. /. 220.)
+      par.Prof.par_utilization;
+    (* 0-40 both busy, 40-80 one busy, 80-110 idle: serial = 70. *)
+    Alcotest.(check (float 1e-9)) "serial fraction" (70. /. 110.)
+      par.Prof.par_serial_fraction;
+    Alcotest.(check (option int)) "2-busy ns" (Some 40)
+      (List.assoc_opt 2 par.Prof.par_concurrency);
+    Alcotest.(check (option int)) "0-busy ns" (Some 30)
+      (List.assoc_opt 0 par.Prof.par_concurrency);
+    (match par.Prof.par_levels with
+     | [ lv ] ->
+       Alcotest.(check int) "sources" 5 lv.Prof.lv_sources;
+       Alcotest.(check int) "level wall" 110 lv.Prof.lv_wall_ns;
+       Alcotest.(check int) "merge tail" 30 lv.Prof.lv_merge_ns;
+       Alcotest.(check int) "barrier" 40 lv.Prof.lv_barrier_ns;
+       Alcotest.(check (float 1e-9)) "imbalance" (80. /. 60.)
+         lv.Prof.lv_imbalance;
+       Alcotest.(check int) "shards" 2 (List.length lv.Prof.lv_shards)
+     | lvs -> Alcotest.failf "expected one level, got %d" (List.length lvs));
+    Alcotest.(check bool) "merge tail diagnosed" true
+      (let d = par.Prof.par_diagnosis in
+       let needle = "batch-synchronous merge" in
+       let n = String.length d and m = String.length needle in
+       let rec go i = i + m <= n && (String.sub d i m = needle || go (i + 1)) in
+       go 0)
+
+(* {2 GC counters behind the profiling gate} *)
+
+let test_gc_counters () =
+  let t = Obs.create ~gc:true () in
+  Obs.with_tracer t (fun () ->
+      Obs.span "work" (fun () ->
+          ignore (Sys.opaque_identity (List.init 20_000 string_of_int)));
+      Obs.sample_gc ());
+  let prof = Prof.of_tracer t in
+  let allocated =
+    Option.value ~default:0
+      (List.assoc_opt "gc.allocated_words" prof.Prof.p_counters)
+  in
+  Alcotest.(check bool) "allocated words counted" true (allocated > 0);
+  let work = List.find (fun s -> s.Prof.s_name = "work") prof.Prof.p_spans in
+  Alcotest.(check bool) "span alloc_w recorded" true (work.Prof.s_alloc_w > 0);
+  (* Without ~gc the same span carries no allocation figure. *)
+  let t2 = Obs.create () in
+  Obs.with_tracer t2 (fun () ->
+      Obs.span "work" (fun () ->
+          ignore (Sys.opaque_identity (List.init 20_000 string_of_int))));
+  let prof2 = Prof.of_tracer t2 in
+  let work2 = List.find (fun s -> s.Prof.s_name = "work") prof2.Prof.p_spans in
+  Alcotest.(check int) "gated off" 0 work2.Prof.s_alloc_w
+
+let suite =
+  [
+    Alcotest.test_case "golden folded stacks" `Quick test_folded_golden;
+    Alcotest.test_case "point-span temporal nesting" `Quick
+      test_point_span_nesting;
+    QCheck_alcotest.to_alcotest test_self_conservation;
+    Alcotest.test_case "normalized profile -j 1/2/4" `Quick
+      test_normalized_profile_invariance;
+    Alcotest.test_case "parallel analyzer" `Quick test_parallel_analysis;
+    Alcotest.test_case "gc counters" `Quick test_gc_counters;
+  ]
